@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Autotune Bechamel Benchmark Benchsuite Cpusim Gpusim List Octopi Printf Staged Surf Sys Tables Test Time Toolkit Unix Util

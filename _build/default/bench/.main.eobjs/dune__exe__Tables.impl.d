@@ -1,0 +1,1 @@
+bench/tables.ml: Array Autotune Benchsuite Codegen Cpusim Gpusim Hashtbl Lazy List Octopi Printf Surf Tcr Util

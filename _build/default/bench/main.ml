@@ -1,0 +1,154 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printing measured vs published values) and runs one Bechamel
+   micro-benchmark per table/figure measuring the cost of regenerating a
+   scaled-down version of it.
+
+   Usage:
+     bench/main.exe                 regenerate everything + bechamel suite
+     bench/main.exe claims          Section III variant claims
+     bench/main.exe space           Section V search-space sizes
+     bench/main.exe table2|table3|table4|figure3|surf-vs-brute
+     bench/main.exe bechamel        only the Bechamel suite *)
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s regenerated in %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+let print_table t =
+  Util.Table.print t;
+  print_newline ()
+
+let run_claims () = timed "claims" (fun () -> print_table (Tables.claims ()))
+let run_space () = timed "space" (fun () -> print_table (Tables.space_table ()))
+let run_table2 () = timed "table2" (fun () -> print_table (Tables.table2 ()))
+let run_table3 () = timed "table3" (fun () -> print_table (Tables.table3 ()))
+let run_table4 () = timed "table4" (fun () -> print_table (Tables.table4 ()))
+let run_figure3 () = timed "figure3" (fun () -> List.iter print_table (Tables.figure3 ()))
+let run_surf_brute () = timed "surf-vs-brute" (fun () -> print_table (Tables.surf_vs_brute ()))
+let run_ablation () = timed "ablation" (fun () -> print_table (Tables.ablation ()))
+let run_modelcheck () = timed "modelcheck" (fun () -> print_table (Tables.modelcheck ()))
+let run_motivation () = timed "motivation" (fun () -> print_table (Tables.motivation ()))
+let run_sweep () = timed "sweep" (fun () -> print_table (Tables.sweep ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-suite: one Test.make per table/figure, each running a
+   reduced-size regeneration of that experiment's pipeline so that several
+   samples fit in the quota. *)
+
+let small_cfg = { Surf.Search.default_config with max_evals = 20; batch_size = 5 }
+
+let tune_small arch b =
+  Autotune.Tuner.tune
+    ~strategy:(Autotune.Tuner.Surf_search small_cfg)
+    ~pool_per_variant:30 ~rng:(Util.Rng.create 1) ~arch b
+
+let bench_claims () =
+  (* Section III: enumerate the Eqn.(1) variants *)
+  let b = Benchsuite.Suite.eqn1 ~n:4 () in
+  let set = Octopi.Variants.of_contraction (List.hd b.statements) in
+  assert (List.length set.variants = 15)
+
+let bench_space () =
+  let b = Benchsuite.Suite.lg3 ~p:6 ~elems:16 () in
+  let choices = Autotune.Tuner.variant_choices b in
+  assert (Autotune.Tuner.total_space choices > 0)
+
+let bench_table2 () =
+  ignore (tune_small Gpusim.Arch.gtx980 (Benchsuite.Suite.eqn1 ~n:6 ()))
+
+let bench_table3 () =
+  let b = Benchsuite.Suite.lg3 ~p:6 ~elems:16 () in
+  let ir = (List.hd (Autotune.Tuner.variant_choices b)).v_ir in
+  ignore (Cpusim.Openacc.time Gpusim.Arch.k20 ir ~reps:100 Cpusim.Openacc.Naive);
+  ignore (tune_small Gpusim.Arch.k20 b)
+
+let bench_table4 () =
+  let b = Benchsuite.Nwchem.benchmark ~n:8 Benchsuite.Nwchem.D1 ~index:1 in
+  ignore (Autotune.Tuner.best_openmp_time b);
+  ignore (tune_small Gpusim.Arch.k20 b)
+
+let bench_figure3 () =
+  let b = Benchsuite.Nwchem.benchmark ~n:8 Benchsuite.Nwchem.S1 ~index:1 in
+  let ir = (List.hd (Autotune.Tuner.variant_choices b)).v_ir in
+  ignore (Cpusim.Openacc.time Gpusim.Arch.c2050 ir ~reps:100 Cpusim.Openacc.Naive);
+  ignore (tune_small Gpusim.Arch.c2050 b)
+
+let bench_surf_brute () =
+  let pool = Array.init 200 (fun i -> i) in
+  let eval i = abs_float (float_of_int i -. 127.0) in
+  let encode i = [| float_of_int (i mod 16); float_of_int (i / 16) |] in
+  let r = Surf.Search.surf ~config:small_cfg (Util.Rng.create 2) ~pool ~encode ~eval in
+  assert (r.evaluations <= 20)
+
+let bechamel_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"claims:variant-enumeration" (Staged.stage bench_claims);
+    Test.make ~name:"space:search-space-size" (Staged.stage bench_space);
+    Test.make ~name:"table2:tune-eqn1" (Staged.stage bench_table2);
+    Test.make ~name:"table3:nekbone-openacc-vs-tuned" (Staged.stage bench_table3);
+    Test.make ~name:"table4:nwchem-omp-vs-tuned" (Staged.stage bench_table4);
+    Test.make ~name:"figure3:nwchem-vs-naive-acc" (Staged.stage bench_figure3);
+    Test.make ~name:"surf-vs-brute:model-search" (Staged.stage bench_surf_brute);
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:25 ~quota:(Time.second 2.0) ~stabilize:false ~kde:None ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  Printf.printf "Bechamel micro-benchmarks (scaled-down table regenerations):\n";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg [ instance ] elt in
+          let ols =
+            Analyze.OLS.ols ~bootstrap:0 ~r_square:false ~responder:"monotonic-clock"
+              ~predictors:[| "run" |] result.lr
+          in
+          let estimate =
+            match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+          in
+          Printf.printf "  %-40s %10.3f ms/run (%d samples)\n%!" (Test.Elt.name elt)
+            (estimate /. 1e6) result.stats.samples)
+        (Test.elements test))
+    bechamel_tests;
+  print_newline ()
+
+let run_all () =
+  run_claims ();
+  run_space ();
+  run_table2 ();
+  run_table3 ();
+  run_table4 ();
+  run_figure3 ();
+  run_surf_brute ();
+  run_ablation ();
+  run_modelcheck ();
+  run_motivation ();
+  run_sweep ();
+  run_bechamel ()
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> run_all ()
+  | [| _; "claims" |] -> run_claims ()
+  | [| _; "space" |] -> run_space ()
+  | [| _; "table2" |] -> run_table2 ()
+  | [| _; "table3" |] -> run_table3 ()
+  | [| _; "table4" |] -> run_table4 ()
+  | [| _; "figure3" |] -> run_figure3 ()
+  | [| _; "surf-vs-brute" |] -> run_surf_brute ()
+  | [| _; "ablation" |] -> run_ablation ()
+  | [| _; "modelcheck" |] -> run_modelcheck ()
+  | [| _; "motivation" |] -> run_motivation ()
+  | [| _; "sweep" |] -> run_sweep ()
+  | [| _; "bechamel" |] -> run_bechamel ()
+  | _ ->
+    prerr_endline
+      "usage: main.exe [claims|space|table2|table3|table4|figure3|surf-vs-brute|ablation|modelcheck|motivation|sweep|bechamel]";
+    exit 2

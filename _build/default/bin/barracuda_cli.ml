@@ -1,0 +1,360 @@
+(* Command-line front end to the Barracuda pipeline.
+
+   Subcommands:
+     variants  enumerate the OCTOPI strength-reduction variants of a program
+     tcr       print the TCR form of a chosen variant
+     space     summarize the autotuning search space
+     tune      run the full pipeline (SURF autotuning) and report
+     cuda      tune and emit the optimized CUDA translation unit
+     c         emit sequential C or OpenACC renderings
+     archs     list the simulated GPU architectures
+
+   The tensor program is read from a file, or from the -e EXPR option. *)
+
+open Cmdliner
+
+let read_program file expr einsum =
+  match (file, expr, einsum) with
+  | None, Some src, None -> src
+  | None, None, Some spec -> Octopi.Einsum_notation.to_dsl spec
+  | Some path, None, None ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  | None, None, None -> failwith "no input: give a file, -e EXPR or --einsum SPEC"
+  | _ -> failwith "give exactly one of: a file, -e, --einsum"
+
+let src_args =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Tensor program file.")
+  in
+  let expr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Tensor program given inline.")
+  in
+  let einsum =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "einsum" ] ~docv:"SPEC"
+          ~doc:"NumPy-style einsum spec, e.g. 'lk,mj,ni,lmn->ijk'.")
+  in
+  Term.(const read_program $ file $ expr $ einsum)
+
+let arch_arg =
+  let parse s =
+    match Gpusim.Arch.by_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
+  in
+  let print fmt (a : Gpusim.Arch.t) = Format.pp_print_string fmt a.name in
+  let arch_conv = Arg.conv ~docv:"ARCH" (parse, print) in
+  Arg.(
+    value
+    & opt arch_conv Gpusim.Arch.gtx980
+    & info [ "a"; "arch" ] ~docv:"ARCH"
+        ~doc:"Target GPU: maxwell (GTX 980), kepler (Tesla K20) or fermi (Tesla C2050).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the search.")
+
+let evals_arg =
+  Arg.(
+    value & opt int 100 & info [ "evals" ] ~docv:"N" ~doc:"SURF evaluation budget (default 100).")
+
+let prune_arg =
+  Arg.(
+    value & flag
+    & info [ "prune" ]
+        ~doc:"Prune the search space with the default static policy before searching.")
+
+let setup_logs =
+  let setup () =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Warning)
+  in
+  Term.(const setup $ const ())
+
+(* ---------------- variants ---------------- *)
+
+let cmd_variants =
+  let run () src =
+    List.iteri
+      (fun si (set : Octopi.Variants.t) ->
+        Printf.printf "statement %d: output %s, %d variants (naive: %d flops)\n" (si + 1)
+          set.contraction.output
+          (List.length set.variants)
+          (Octopi.Contraction.naive_flops set.contraction);
+        List.iter
+          (fun (v : Octopi.Variants.variant) ->
+            Printf.printf "  [%2d] %8d flops  fusion %d  %s\n" v.id v.flops
+              (Octopi.Fusion.score v.schedule)
+              (Octopi.Plan.describe v.plan))
+          set.variants)
+      (Barracuda.variants src)
+  in
+  Cmd.v (Cmd.info "variants" ~doc:"Enumerate OCTOPI strength-reduction variants.")
+    Term.(const run $ setup_logs $ src_args)
+
+(* ---------------- tcr ---------------- *)
+
+let cmd_tcr =
+  let variant_arg =
+    Arg.(value & opt int 0 & info [ "variant" ] ~docv:"N" ~doc:"Variant id per statement.")
+  in
+  let run () src vid =
+    let b = Barracuda.parse src in
+    let choices = Autotune.Tuner.variant_choices b in
+    let choice =
+      match List.nth_opt choices vid with
+      | Some c -> c
+      | None -> failwith (Printf.sprintf "variant %d out of range (0..%d)" vid (List.length choices - 1))
+    in
+    print_string (Tcr.Ir.to_string choice.v_ir)
+  in
+  Cmd.v (Cmd.info "tcr" ~doc:"Print the TCR intermediate form of a variant.")
+    Term.(const run $ setup_logs $ src_args $ variant_arg)
+
+(* ---------------- space ---------------- *)
+
+let cmd_space =
+  let run () src =
+    let b = Barracuda.parse src in
+    let choices = Autotune.Tuner.variant_choices b in
+    Printf.printf "OCTOPI variants: %d\n" (List.length choices);
+    Printf.printf "total tensor-code variants: %d\n" (Autotune.Tuner.total_space choices);
+    List.iteri
+      (fun i (c : Autotune.Tuner.variant_choice) ->
+        let per_op =
+          List.map (fun s -> string_of_int (Tcr.Space.count s)) c.spaces.op_spaces
+        in
+        Printf.printf "  variant %2d: %s kernels, space %s = %d\n" i
+          (string_of_int (List.length c.spaces.op_spaces))
+          (String.concat " x " per_op)
+          (Tcr.Space.program_count c.spaces))
+      choices
+  in
+  Cmd.v (Cmd.info "space" ~doc:"Summarize the autotuning search space.")
+    Term.(const run $ setup_logs $ src_args)
+
+(* ---------------- tune ---------------- *)
+
+let tune_common src arch seed evals prune =
+  let b = Barracuda.parse src in
+  let cfg = { Surf.Search.default_config with max_evals = evals } in
+  let prune = if prune then Some Tcr.Prune.default else None in
+  Autotune.Tuner.tune
+    ~strategy:(Autotune.Tuner.Surf_search cfg)
+    ?prune ~rng:(Util.Rng.create seed) ~arch b
+
+let cmd_tune =
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the tuning artifact to FILE.")
+  in
+  let run () src arch seed evals prune save =
+    let result = tune_common src arch seed evals prune in
+    let s = Barracuda.summarize result in
+    Format.printf "target: %s@\n%a@\n" result.arch.name Barracuda.pp_summary s;
+    Format.printf "best variant: %s@\n"
+      (String.concat "." (List.map string_of_int result.best.variant_ids));
+    List.iteri
+      (fun i p -> Format.printf "  kernel %d: %s@\n" (i + 1) (Tcr.Space.point_key p))
+      result.best.points;
+    match save with
+    | None -> ()
+    | Some path ->
+      Autotune.Store.save_file path result;
+      Printf.printf "saved tuning artifact to %s\n" path
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Autotune a tensor program with SURF and report.")
+    Term.(
+      const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ prune_arg
+      $ save_arg)
+
+(* ---------------- annotations ---------------- *)
+
+let cmd_annotations =
+  let variant_arg =
+    Arg.(value & opt int 0 & info [ "variant" ] ~docv:"N" ~doc:"Variant id.")
+  in
+  let recipe_arg =
+    Arg.(
+      value & flag
+      & info [ "recipe" ]
+          ~doc:"Also tune and print the concrete transformation recipe.")
+  in
+  let run () src vid arch seed evals want_recipe =
+    let b = Barracuda.parse src in
+    let choices = Autotune.Tuner.variant_choices b in
+    let choice =
+      match List.nth_opt choices vid with
+      | Some c -> c
+      | None -> failwith (Printf.sprintf "variant %d out of range" vid)
+    in
+    print_string (Tcr.Orio.annotations choice.spaces);
+    if want_recipe then begin
+      let result = tune_common src arch seed evals false in
+      print_endline "/* tuned recipe */";
+      print_endline (Tcr.Orio.recipe result.best.points)
+    end
+  in
+  Cmd.v
+    (Cmd.info "annotations"
+       ~doc:"Print the Orio/CUDA-CHiLL search-space annotations (Figure 2(c)).")
+    Term.(
+      const run $ setup_logs $ src_args $ variant_arg $ arch_arg $ seed_arg $ evals_arg
+      $ recipe_arg)
+
+(* ---------------- cuda ---------------- *)
+
+let cmd_cuda =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write CUDA to FILE.")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:"Re-emit from a saved tuning artifact instead of searching.")
+  in
+  let run () src arch seed evals prune from out =
+    let cuda =
+      match from with
+      | Some path ->
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let saved = Autotune.Store.parse text in
+        let b = Barracuda.parse ~label:saved.label src in
+        let ir, points = Autotune.Store.restore b saved in
+        Codegen.Cuda.emit_program ir points
+      | None ->
+        let result = tune_common src arch seed evals prune in
+        Barracuda.cuda_of result
+    in
+    match out with
+    | None -> print_string cuda
+    | Some path ->
+      let oc = open_out path in
+      output_string oc cuda;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v (Cmd.info "cuda" ~doc:"Tune and emit the optimized CUDA code.")
+    Term.(
+      const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ prune_arg
+      $ from_arg $ out_arg)
+
+(* ---------------- c ---------------- *)
+
+let cmd_c =
+  let mode_arg =
+    let mode_conv =
+      Arg.enum
+        [ ("seq", `Seq); ("omp", `Omp); ("acc-naive", `Acc_naive);
+          ("acc-optimized", `Acc_opt) ]
+    in
+    Arg.(
+      value & opt mode_conv `Seq
+      & info [ "mode" ] ~docv:"MODE" ~doc:"seq, omp, acc-naive or acc-optimized.")
+  in
+  let run () src arch seed evals mode =
+    let result = tune_common src arch seed evals false in
+    let mode =
+      match mode with
+      | `Seq -> Codegen.C_emit.Sequential
+      | `Omp -> Codegen.C_emit.Openmp
+      | `Acc_naive -> Codegen.C_emit.Acc_naive
+      | `Acc_opt ->
+        Codegen.C_emit.Acc_optimized
+          (List.map (fun (p : Tcr.Space.point) -> p.decomp) result.best.points)
+    in
+    print_string (Barracuda.c_of ~mode result)
+  in
+  Cmd.v (Cmd.info "c" ~doc:"Emit sequential C or OpenACC renderings.")
+    Term.(const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ mode_arg)
+
+(* ---------------- driver ---------------- *)
+
+let cmd_driver =
+  let reps_arg =
+    Arg.(value & opt int 100 & info [ "reps" ] ~docv:"N" ~doc:"Timed repetitions.")
+  in
+  let run () src arch seed evals reps =
+    let result = tune_common src arch seed evals false in
+    print_string (Codegen.Driver.emit ~reps result.best.ir result.best.points)
+  in
+  Cmd.v
+    (Cmd.info "driver"
+       ~doc:"Tune and emit a standalone CUDA driver (main + timing + check).")
+    Term.(const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ reps_arg)
+
+(* ---------------- inspect ---------------- *)
+
+let cmd_inspect =
+  let run () src arch seed evals =
+    let result = tune_common src arch seed evals false in
+    Printf.printf "%s on %s: %.2f GFlops (simulated)\n\n" result.benchmark.label
+      arch.Gpusim.Arch.name result.gflops;
+    let graph = Tcr.Depgraph.build result.best.ir in
+    Printf.printf "dependence waves: %d (max width %d)\n\n"
+      (List.length (Tcr.Depgraph.waves graph))
+      (Tcr.Depgraph.max_wave_width graph);
+    List.iter2
+      (fun (kr : Gpusim.Perf.kernel_report) point ->
+        Printf.printf "%s  [%s]\n" kr.kernel_name (Tcr.Space.point_key point);
+        Printf.printf
+          "  bound: %-6s  time %.3g s (dp %.2e, issue %.2e, mem %.2e, launch %.1e)\n"
+          kr.bound kr.time_s kr.t_dp kr.t_issue kr.t_mem kr.t_launch;
+        Printf.printf "  occupancy %.2f (%s-limited, %d regs/thread)  grid util %.2f\n"
+          kr.occupancy.occupancy kr.occupancy.limited_by kr.occupancy.regs_per_thread
+          kr.grid_utilization;
+        Printf.printf "  traffic: %.3g MB DRAM + %.3g MB L2\n" (kr.dram_bytes /. 1e6)
+          (kr.l2_bytes /. 1e6);
+        List.iter
+          (fun (rr : Gpusim.Perf.ref_report) ->
+            Printf.printf "    %-8s %4.1f trans/warp, %7d loads/thread, %s\n"
+              rr.analysis.name rr.analysis.transactions_per_warp rr.analysis.loads_per_thread
+              (match rr.memory_class with
+              | Gpusim.Perf.L1_resident -> "L1-resident"
+              | Gpusim.Perf.L2_shared -> "L2-shared"
+              | Gpusim.Perf.Dram_raw -> "DRAM"))
+          kr.refs)
+      result.best_report.kernels result.best.points
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Tune and print the per-kernel performance-model breakdown.")
+    Term.(const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg)
+
+(* ---------------- archs ---------------- *)
+
+let cmd_archs =
+  let run () =
+    List.iter
+      (fun (a : Gpusim.Arch.t) ->
+        Printf.printf "%-12s (%s): %d SMs @ %.3f GHz, DP peak %.0f GFlops, %.0f GB/s\n"
+          a.name a.codename a.sm_count a.clock_ghz (Gpusim.Arch.dp_peak_gflops a)
+          a.mem_bw_gbs)
+      Gpusim.Arch.all
+  in
+  Cmd.v (Cmd.info "archs" ~doc:"List the simulated GPU architectures.")
+    Term.(const run $ setup_logs)
+
+let () =
+  let info =
+    Cmd.info "barracuda" ~version:"1.0.0"
+      ~doc:"Autotuning tensor-contraction compiler for (simulated) GPUs."
+  in
+  exit (Cmd.eval (Cmd.group info
+          [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
+            cmd_driver; cmd_c; cmd_inspect; cmd_archs ]))

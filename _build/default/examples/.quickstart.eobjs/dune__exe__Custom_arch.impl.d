@@ -1,0 +1,1 @@
+examples/custom_arch.ml: Barracuda Benchsuite Gpusim List Printf

@@ -1,0 +1,1 @@
+examples/nekbone_app.ml: Barracuda Benchsuite List Printf

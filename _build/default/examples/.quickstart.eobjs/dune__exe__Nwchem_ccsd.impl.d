@@ -1,0 +1,1 @@
+examples/nwchem_ccsd.ml: Barracuda Benchsuite List Octopi Printf Seq String

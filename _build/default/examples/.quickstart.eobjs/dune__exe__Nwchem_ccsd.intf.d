@@ -1,0 +1,1 @@
+examples/nwchem_ccsd.mli:

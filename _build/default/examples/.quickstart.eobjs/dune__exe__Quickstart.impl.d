@@ -1,0 +1,1 @@
+examples/quickstart.ml: Barracuda Format List Octopi Printf Seq String

@@ -1,0 +1,1 @@
+examples/spectral_element.ml: Barracuda Benchsuite List Printf String

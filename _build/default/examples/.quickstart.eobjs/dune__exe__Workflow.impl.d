@@ -1,0 +1,1 @@
+examples/workflow.ml: Barracuda List Printf String

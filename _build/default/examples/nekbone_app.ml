@@ -1,0 +1,59 @@
+(* Nekbone mini-app: a conjugate-gradient solve whose operator is built
+   from the tuned Lg3/Lg3t kernels (Section VI-B of the paper).
+
+   The example first runs a *real* CG solve through the kernel-IR executor
+   (demonstrating that the tuned code is numerically sound inside an
+   application), then assembles the per-iteration performance picture:
+   1-core, 4-core OpenMP and Barracuda-tuned GPU execution.
+
+   Run with: dune exec examples/nekbone_app.exe *)
+
+let () =
+  (* ---- functional solve at a small order so it runs in seconds ---- *)
+  let problem = { Benchsuite.Nekbone.p = 6; elems = 8 } in
+  Printf.printf "CG solve: order %d, %d elements (%d unknowns)\n" problem.p problem.elems
+    (Benchsuite.Nekbone.field_points problem);
+  let op = Benchsuite.Nekbone.make_operator problem in
+  let rng = Barracuda.Rng.create 11 in
+  let b = Barracuda.Tensor.random rng (Benchsuite.Nekbone.field_shape problem) in
+  let x, stats = Benchsuite.Nekbone.cg_solve ~tol:1e-9 ~max_iter:500 op b in
+  Printf.printf "converged: %b after %d iterations\n" stats.converged stats.iterations;
+  let residual =
+    Barracuda.Tensor.norm2 (Barracuda.Tensor.sub b (Benchsuite.Nekbone.apply op x))
+    /. Barracuda.Tensor.norm2 b
+  in
+  Printf.printf "verified relative residual ||b - Ax|| / ||b|| = %.2e\n\n" residual;
+
+  (* ---- performance assembly at the paper's size (12^3, batched) ---- *)
+  let perf_problem = Benchsuite.Nekbone.default in
+  let perf_op = Benchsuite.Nekbone.make_operator perf_problem in
+  Printf.printf "Performance model at order %d, %d elements:\n" perf_problem.p
+    perf_problem.elems;
+  Printf.printf "  contraction share of sequential time: %.0f%% (paper: ~60%%)\n"
+    (100.0 *. Benchsuite.Nekbone.contraction_fraction_cpu perf_op);
+  let report cores =
+    let t = Benchsuite.Nekbone.cpu_iter_time ~cores perf_op in
+    Printf.printf "  Haswell %d core%s : %6.2f GFlops\n" cores
+      (if cores > 1 then "s" else " ")
+      (Benchsuite.Nekbone.gflops_of_iter_time perf_op t)
+  in
+  report 1;
+  report 4;
+  List.iter
+    (fun arch ->
+      let tune b =
+        Barracuda.Tuner.tune ~rng:(Barracuda.Rng.create 42) ~arch b
+      in
+      let lg3 = tune (Benchsuite.Nekbone.lg3_benchmark perf_problem) in
+      let lg3t = tune (Benchsuite.Nekbone.lg3t_benchmark perf_problem) in
+      let t =
+        Benchsuite.Nekbone.gpu_iter_time arch
+          ~lg3_kernel_time:lg3.best_report.kernel_time_s
+          ~lg3t_kernel_time:lg3t.best_report.kernel_time_s perf_problem
+      in
+      Printf.printf "  %-14s : %6.2f GFlops (Lg3 %.2f ms + Lg3t %.2f ms + aux)\n"
+        arch.Barracuda.Arch.name
+        (Benchsuite.Nekbone.gflops_of_iter_time perf_op t)
+        (1e3 *. lg3.best_report.kernel_time_s)
+        (1e3 *. lg3t.best_report.kernel_time_s))
+    Barracuda.Arch.all

@@ -1,0 +1,54 @@
+(* NWChem CCSD(T) kernel excerpts: tuning the coupled-cluster triples
+   contractions (Section VI of the paper) and comparing code-generation
+   strategies - naive OpenACC, optimized OpenACC, and Barracuda.
+
+   Run with: dune exec examples/nwchem_ccsd.exe *)
+
+let arch = Barracuda.Arch.k20
+let reps = 100
+
+let () =
+  Printf.printf "NWChem CCSD(T) excerpts on %s (trip count 16)\n\n" arch.name;
+  List.iter
+    (fun family ->
+      Printf.printf "== family %s ==\n"
+        (Benchsuite.Nwchem.family_name family);
+      (* show the contraction form of the first kernel *)
+      let b1 = Benchsuite.Nwchem.benchmark family ~index:1 in
+      List.iter
+        (fun (c : Barracuda.Contraction.t) ->
+          Printf.printf "  form: t3[%s] +=%s\n"
+            (String.concat " " c.output_indices)
+            (String.concat " *"
+               (List.map
+                  (fun (f : Octopi.Ast.tensor_ref) ->
+                    Printf.sprintf " %s[%s]" f.name (String.concat " " f.indices))
+                  c.factors)))
+        b1.statements;
+      List.iter
+        (fun index ->
+          let b = Benchsuite.Nwchem.benchmark family ~index in
+          let ir = (List.hd (Barracuda.Tuner.variant_choices b)).v_ir in
+          let r = Barracuda.Tuner.tune ~rng:(Barracuda.Rng.create index) ~arch b in
+          let naive = Barracuda.Openacc.gflops arch ir ~reps Barracuda.Openacc.Naive in
+          let opt =
+            Barracuda.Openacc.gflops arch r.best.ir ~reps
+              (Barracuda.Openacc.Optimized r.best.points)
+          in
+          Printf.printf
+            "  %-5s naive ACC %6.2f GF | optimized ACC %6.2f GF | Barracuda %6.2f GF (%.0fx over naive)\n"
+            b.label naive opt r.gflops
+            (r.gflops /. naive))
+        [ 1; 2; 3 ];
+      print_newline ())
+    Benchsuite.Nwchem.families;
+
+  (* emit the tuned CUDA of d1_1 *)
+  let b = Benchsuite.Nwchem.benchmark Benchsuite.Nwchem.D1 ~index:1 in
+  let r = Barracuda.Tuner.tune ~rng:(Barracuda.Rng.create 1) ~arch b in
+  let cuda = Barracuda.cuda_of r in
+  let excerpt =
+    String.split_on_char '\n' cuda
+    |> List.to_seq |> Seq.take 16 |> List.of_seq |> String.concat "\n"
+  in
+  Printf.printf "Tuned CUDA for d1_1 (excerpt):\n%s\n...\n" excerpt

@@ -1,0 +1,42 @@
+(* End-to-end integration workflow (the paper's Section VIII goal:
+   "facilitate integration of the generated code into applications"):
+
+   1. tune a contraction with SURF,
+   2. save the tuning artifact (label + variant + Figure 2(c) recipe),
+   3. reload it later - no search - and re-emit identical CUDA,
+   4. wrap it in a standalone driver (main + timing + CPU check),
+   5. show the Orio/CHiLL annotations the search explored.
+
+   Run with: dune exec examples/workflow.exe *)
+
+let program = "dims: e=256 i=12 l=12 j=12 k=12\nur[e i j k] = Sum([l], D[i l] * u[e l j k])"
+
+let () =
+  (* 1. tune *)
+  let result = Barracuda.tune ~label:"lgrad" ~arch:Barracuda.Arch.k20 program in
+  Printf.printf "tuned lgrad for %s: %.2f GFlops (simulated)\n" result.arch.name
+    result.gflops;
+
+  (* 2. save *)
+  let artifact = Barracuda.save_tuning result in
+  Printf.printf "\n--- tuning artifact ---\n%s\n" artifact;
+
+  (* 3. reload without searching and re-emit identical CUDA *)
+  let benchmark = Barracuda.parse ~label:"lgrad" program in
+  let ir, points = Barracuda.load_tuning benchmark artifact in
+  let identical =
+    Barracuda.Cuda.emit_program ir points = Barracuda.cuda_of result
+  in
+  Printf.printf "reloaded artifact re-emits identical CUDA: %b\n\n" identical;
+
+  (* 4. standalone driver *)
+  let driver = Barracuda.driver_of ~reps:100 result in
+  let lines = String.split_on_char '\n' driver in
+  Printf.printf "standalone driver: %d lines of CUDA C (kernel + main + reference check)\n"
+    (List.length lines);
+
+  (* 5. the annotations the search space was expressed as *)
+  let choice = List.hd (Barracuda.Tuner.variant_choices benchmark) in
+  Printf.printf "\n--- Orio/CHiLL annotations (Figure 2(c)) ---\n%s"
+    (Barracuda.Orio.annotations choice.spaces);
+  Printf.printf "--- tuned recipe ---\n%s\n" (Barracuda.Orio.recipe result.best.points)

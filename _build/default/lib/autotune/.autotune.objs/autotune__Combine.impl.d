@@ -1,0 +1,1 @@
+lib/autotune/combine.ml: List Octopi Printf Tcr

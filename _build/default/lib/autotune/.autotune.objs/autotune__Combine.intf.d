@@ -1,0 +1,1 @@
+lib/autotune/combine.mli: Octopi Tcr

@@ -1,0 +1,1 @@
+lib/autotune/evaluator.ml: Gpusim Hashtbl List String Tcr

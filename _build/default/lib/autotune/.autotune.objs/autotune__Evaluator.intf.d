@@ -1,0 +1,1 @@
+lib/autotune/evaluator.mli: Gpusim Hashtbl Tcr

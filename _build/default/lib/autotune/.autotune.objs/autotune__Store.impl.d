@@ -1,0 +1,1 @@
+lib/autotune/store.ml: List Printf String Tcr Tuner

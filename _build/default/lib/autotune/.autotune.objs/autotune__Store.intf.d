@@ -1,0 +1,1 @@
+lib/autotune/store.mli: Tcr Tuner

@@ -1,0 +1,1 @@
+lib/autotune/ttgt.ml: Gpusim List Tcr Tuner

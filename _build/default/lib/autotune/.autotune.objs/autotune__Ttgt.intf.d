@@ -1,0 +1,1 @@
+lib/autotune/ttgt.mli: Gpusim Tcr Tuner

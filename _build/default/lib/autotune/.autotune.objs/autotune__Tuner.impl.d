@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Array Codegen Combine Cpusim Evaluator Gpusim Hashtbl List Logs Octopi Printf String Surf Tcr Tensor Util

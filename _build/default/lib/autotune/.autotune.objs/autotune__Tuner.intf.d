@@ -1,0 +1,1 @@
+lib/autotune/tuner.mli: Gpusim Octopi Surf Tcr Util

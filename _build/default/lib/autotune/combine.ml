@@ -1,0 +1,77 @@
+(* Merge the chosen OCTOPI variant of each statement of a multi-statement
+   computation (e.g. local_grad3's three outputs) into a single TCR program
+   sharing inputs and extents, with per-statement temporaries renamed apart.
+   The merged program is what the GPU simulator times: one kernel per
+   statement, transfers counted once. *)
+
+let rename_temp stmt_index name = Printf.sprintf "s%d_%s" (stmt_index + 1) name
+
+let merge ~label (choices : (Octopi.Contraction.t * Octopi.Variants.variant) list) =
+  if choices = [] then invalid_arg "Combine.merge: no statements";
+  (* extents must agree across statements *)
+  let extents =
+    List.fold_left
+      (fun acc (c : Octopi.Contraction.t * _) ->
+        let c = fst c in
+        List.fold_left
+          (fun acc (i, e) ->
+            match List.assoc_opt i acc with
+            | None -> acc @ [ (i, e) ]
+            | Some e' ->
+              if e <> e' then
+                invalid_arg
+                  (Printf.sprintf "Combine.merge: index %s has extents %d and %d" i e' e)
+              else acc)
+          acc c.extents)
+      [] choices
+  in
+  let irs =
+    List.mapi
+      (fun si (contraction, variant) ->
+        (si, Tcr.Ir.of_variant ~label contraction variant))
+      choices
+  in
+  let rename si (ir : Tcr.Ir.t) name =
+    let is_temp =
+      List.exists (fun (v : Tcr.Ir.var) -> v.name = name && v.role = Tcr.Ir.Temp) ir.vars
+    in
+    if is_temp then rename_temp si name else name
+  in
+  let vars =
+    List.concat_map
+      (fun (si, (ir : Tcr.Ir.t)) ->
+        List.map
+          (fun (v : Tcr.Ir.var) -> { v with Tcr.Ir.name = rename si ir v.name })
+          ir.vars)
+      irs
+    |> List.fold_left
+         (fun acc (v : Tcr.Ir.var) ->
+           match List.find_opt (fun (w : Tcr.Ir.var) -> w.name = v.name) acc with
+           | None -> acc @ [ v ]
+           | Some w ->
+             (* the same tensor may be referenced under different index
+                names by different statements; shapes must agree *)
+             let shape dims = List.map (fun i -> List.assoc i extents) dims in
+             if shape w.dims <> shape v.dims then
+               invalid_arg
+                 (Printf.sprintf "Combine.merge: tensor %s declared with differing shapes"
+                    v.name)
+             else acc)
+         []
+  in
+  let ops =
+    List.concat_map
+      (fun (si, (ir : Tcr.Ir.t)) ->
+        List.map
+          (fun (op : Tcr.Ir.op) ->
+            {
+              op with
+              Tcr.Ir.out = rename si ir op.out;
+              factors = List.map (fun (n, d) -> (rename si ir n, d)) op.factors;
+            })
+          ir.ops)
+      irs
+  in
+  let t = { Tcr.Ir.label; extents; vars; ops } in
+  Tcr.Ir.validate t;
+  t

@@ -1,0 +1,45 @@
+(* Empirical evaluation of one code variant on the simulated device, with
+   memoization, plus the model of what one evaluation *costs* the search
+   (Section V quotes ~4 s per variant: nvcc compilation dominates, then 100
+   timed repetitions on the board). *)
+
+type t = {
+  arch : Gpusim.Arch.t;
+  reps : int;                  (* timed repetitions per evaluation *)
+  cache : (string, Gpusim.Gpu.report) Hashtbl.t;
+  mutable evaluations : int;   (* cache misses = real evaluations *)
+  mutable search_seconds : float;  (* modeled empirical search cost *)
+}
+
+let compile_seconds_per_kernel = 0.9
+let harness_seconds = 0.3
+
+(* Orio-style per-variant timeout: a configuration that runs longer than
+   this is abandoned, so a slow variant costs at most [eval_timeout_s] of
+   search time. *)
+let eval_timeout_s = 20.0
+
+let create ?(reps = 100) arch =
+  { arch; reps; cache = Hashtbl.create 256; evaluations = 0; search_seconds = 0.0 }
+
+let key (ir : Tcr.Ir.t) points =
+  ir.label ^ "|" ^ String.concat "|" (List.map Tcr.Space.point_key points)
+
+let measure t (ir : Tcr.Ir.t) points =
+  let k = key ir points in
+  match Hashtbl.find_opt t.cache k with
+  | Some report -> report
+  | None ->
+    let report = Gpusim.Gpu.measure t.arch ir points in
+    Hashtbl.add t.cache k report;
+    t.evaluations <- t.evaluations + 1;
+    t.search_seconds <-
+      t.search_seconds
+      +. (compile_seconds_per_kernel *. float_of_int (List.length ir.ops))
+      +. harness_seconds
+      +. min eval_timeout_s (Gpusim.Gpu.time_with_reps report ~reps:t.reps);
+    report
+
+(* The search objective: simulated kernel time of one evaluation (transfers
+   are variant-independent, so they do not influence the choice). *)
+let objective t ir points = (measure t ir points).Gpusim.Gpu.kernel_time_s

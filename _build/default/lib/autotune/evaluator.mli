@@ -1,0 +1,29 @@
+(** Empirical evaluation of one code variant on the simulated device, with
+    memoization, plus a model of what one evaluation costs the search
+    (Section V quotes ~4 s per variant: compilation, then timed repetitions
+    on the board, bounded by an Orio-style per-variant timeout). *)
+
+type t = {
+  arch : Gpusim.Arch.t;
+  reps : int;  (** timed repetitions per evaluation *)
+  cache : (string, Gpusim.Gpu.report) Hashtbl.t;
+  mutable evaluations : int;  (** cache misses = real evaluations *)
+  mutable search_seconds : float;  (** modeled empirical search cost *)
+}
+
+val compile_seconds_per_kernel : float
+val harness_seconds : float
+
+(** Configurations running longer than this are abandoned. *)
+val eval_timeout_s : float
+
+val create : ?reps:int -> Gpusim.Arch.t -> t
+
+(** Memoization key of a (program, points) pair. *)
+val key : Tcr.Ir.t -> Tcr.Space.point list -> string
+
+val measure : t -> Tcr.Ir.t -> Tcr.Space.point list -> Gpusim.Gpu.report
+
+(** The search objective: simulated kernel time of one evaluation
+    (transfers are variant-independent and excluded). *)
+val objective : t -> Tcr.Ir.t -> Tcr.Space.point list -> float

@@ -1,0 +1,230 @@
+(* The end-to-end Barracuda pipeline (Figure 1): OCTOPI variants -> merged
+   TCR programs -> decision-algorithm search space -> SURF.
+
+   A [candidate] fixes one OCTOPI variant per statement and one search-space
+   point per generated kernel; the SURF pool is the full cross-product space
+   when small enough, otherwise a uniform sample of it (Algorithm 2 takes
+   an explicit configuration pool as input). *)
+
+let log_src = Logs.Src.create "barracuda.tuner" ~doc:"Autotuning pipeline"
+
+module Log = (val Logs.src_log log_src)
+
+type benchmark = {
+  label : string;
+  statements : Octopi.Contraction.t list;
+}
+
+type candidate = {
+  variant_ids : int list;  (* chosen OCTOPI variant per statement *)
+  ir : Tcr.Ir.t;
+  points : Tcr.Space.point list;
+  features : Surf.Feature.features;
+}
+
+type result = {
+  benchmark : benchmark;
+  arch : Gpusim.Arch.t;
+  best : candidate;
+  best_report : Gpusim.Gpu.report;
+  time_per_eval_s : float;   (* amortized single evaluation, with transfer *)
+  gflops : float;
+  search_seconds : float;    (* modeled empirical search cost *)
+  evaluations : int;
+  pool_size : int;
+  total_space : int;         (* exact size of the full cross-product space *)
+  variant_count : int;
+  convergence : float list;
+}
+
+let benchmark_of_dsl ~label src =
+  let program = Octopi.Parse.program src in
+  { label; statements = Octopi.Contraction.of_program program }
+
+(* One merged IR + its per-op spaces for a joint variant choice. *)
+type variant_choice = {
+  ids : int list;
+  v_ir : Tcr.Ir.t;
+  spaces : Tcr.Space.program_space;
+}
+
+let variant_choices (b : benchmark) =
+  let per_stmt =
+    List.map (fun c -> (c, (Octopi.Variants.of_contraction c).variants)) b.statements
+  in
+  let rec cross = function
+    | [] -> [ [] ]
+    | (c, vs) :: rest ->
+      let tails = cross rest in
+      List.concat_map (fun v -> List.map (fun tl -> (c, v) :: tl) tails) vs
+  in
+  List.map
+    (fun choice ->
+      let ids = List.map (fun (_, (v : Octopi.Variants.variant)) -> v.id) choice in
+      let v_ir = Combine.merge ~label:b.label choice in
+      { ids; v_ir; spaces = Tcr.Space.of_ir v_ir })
+    (cross per_stmt)
+
+let total_space choices =
+  List.fold_left (fun acc c -> acc + Tcr.Space.program_count c.spaces) 0 choices
+
+let features_of (c : variant_choice) points =
+  ("variant", Surf.Feature.Cat (String.concat "." (List.map string_of_int c.ids)))
+  :: List.concat
+       (List.mapi
+          (fun i (space, point) ->
+            List.map
+              (fun (name, v) ->
+                let v' =
+                  match v with
+                  | Tcr.Space.Cat s -> Surf.Feature.Cat s
+                  | Tcr.Space.Num x -> Surf.Feature.Num x
+                in
+                (Printf.sprintf "op%d_%s" (i + 1) name, v'))
+              (Tcr.Space.features space point))
+          (List.combine c.spaces.op_spaces points))
+
+let candidate_of (c : variant_choice) points =
+  { variant_ids = c.ids; ir = c.v_ir; points; features = features_of c points }
+
+(* Build the SURF pool: enumerate a variant's space when it is small,
+   otherwise sample without replacement via rejection on the point key.
+   An optional pruning [policy] (see {!Tcr.Prune}) filters points first. *)
+let build_pool ?(pool_per_variant = 600) ?prune rng choices =
+  let point_ok space p =
+    match prune with None -> true | Some policy -> Tcr.Prune.point_ok policy space p
+  in
+  let pool = ref [] in
+  List.iter
+    (fun c ->
+      let count = Tcr.Space.program_count c.spaces in
+      if count <= pool_per_variant then begin
+        let per_op =
+          List.map
+            (fun space -> List.filter (point_ok space) (Tcr.Space.enumerate space))
+            c.spaces.op_spaces
+        in
+        let rec cross = function
+          | [] -> [ [] ]
+          | pts :: rest ->
+            let tails = cross rest in
+            List.concat_map (fun p -> List.map (fun tl -> p :: tl) tails) pts
+        in
+        List.iter (fun points -> pool := candidate_of c points :: !pool) (cross per_op)
+      end
+      else begin
+        let seen = Hashtbl.create pool_per_variant in
+        let attempts = ref 0 in
+        while Hashtbl.length seen < pool_per_variant && !attempts < pool_per_variant * 40 do
+          incr attempts;
+          let points = List.map (Tcr.Space.sample rng) c.spaces.op_spaces in
+          if List.for_all2 point_ok c.spaces.op_spaces points then begin
+            let k = String.concat "|" (List.map Tcr.Space.point_key points) in
+            if not (Hashtbl.mem seen k) then begin
+              Hashtbl.add seen k ();
+              pool := candidate_of c points :: !pool
+            end
+          end
+        done
+      end)
+    choices;
+  Array.of_list !pool
+
+type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
+
+let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
+    ?(pool_per_variant = 600) ?prune ~rng ~arch (b : benchmark) =
+  let choices = variant_choices b in
+  let pool = build_pool ~pool_per_variant ?prune rng choices in
+  (* a policy can empty the pool of a tiny computation (e.g. a 10x10
+     contraction cannot reach 32 threads per block): fall back to the full
+     space rather than failing *)
+  let pool =
+    if Array.length pool = 0 && prune <> None then build_pool ~pool_per_variant rng choices
+    else pool
+  in
+  Log.info (fun m ->
+      m "%s on %s: %d variants, %d-candidate pool (full space %d)" b.label arch.Gpusim.Arch.name
+        (List.length choices) (Array.length pool) (total_space choices));
+  let evaluator = Evaluator.create ~reps arch in
+  let eval (c : candidate) = Evaluator.objective evaluator c.ir c.points in
+  let search_result =
+    match strategy with
+    | Exhaustive -> Surf.Search.exhaustive ~pool ~eval
+    | Random_search ->
+      let max_evals =
+        (match strategy with Surf_search cfg -> cfg.max_evals | _ -> 100)
+      in
+      Surf.Search.random_search rng ~pool ~eval ~max_evals
+    | Surf_search cfg ->
+      let schema =
+        Surf.Feature.make_schema (Array.to_list (Array.map (fun c -> c.features) pool))
+      in
+      let encode c = Surf.Feature.encode schema c.features in
+      Surf.Search.surf ~config:cfg rng ~pool ~encode ~eval
+  in
+  let best = search_result.best.config in
+  let best_report = Evaluator.measure evaluator best.ir best.points in
+  Log.info (fun m ->
+      m "%s on %s: best %.3g s after %d evaluations (variant %s)" b.label arch.Gpusim.Arch.name
+        best_report.Gpusim.Gpu.kernel_time_s search_result.evaluations
+        (String.concat "." (List.map string_of_int best.variant_ids)));
+  let time_per_eval_s = Gpusim.Gpu.amortized_time best_report ~reps in
+  {
+    benchmark = b;
+    arch;
+    best;
+    best_report;
+    time_per_eval_s;
+    gflops = Gpusim.Gpu.gflops best_report ~reps;
+    search_seconds = evaluator.search_seconds;
+    evaluations = search_result.evaluations;
+    pool_size = search_result.pool_size;
+    total_space = total_space choices;
+    variant_count = List.length choices;
+    convergence = Surf.Search.convergence_curve search_result;
+  }
+
+(* Emit the tuned CUDA for a result. *)
+let emit_cuda result = Codegen.Cuda.emit_program result.best.ir result.best.points
+
+(* Validate that the tuned program computes the reference result. *)
+let validate ?(tol = 1e-9) ?(rng = Util.Rng.create 11) result =
+  let ir = result.best.ir in
+  let inputs =
+    List.filter_map
+      (fun (v : Tcr.Ir.var) ->
+        if v.role = Tcr.Ir.Input then
+          Some (v.name, Tensor.Dense.random rng (Tcr.Ir.var_shape ir v.name))
+        else None)
+      ir.vars
+  in
+  let got = Codegen.Exec.run_program ir result.best.points inputs in
+  let want = Codegen.Exec.run_reference ir inputs in
+  List.for_all
+    (fun (v : Tcr.Ir.var) ->
+      v.role <> Tcr.Ir.Output
+      || Tensor.Dense.approx_equal ~tol (List.assoc v.name want) (List.assoc v.name got))
+    ir.vars
+
+(* ------------------------------------------------------------------ *)
+(* CPU baselines: the sequential (and OpenMP) Haswell implementations also
+   benefit from strength reduction, so they use the variant that minimizes
+   CPU time. *)
+
+let best_sequential_time (b : benchmark) =
+  let choices = variant_choices b in
+  List.fold_left
+    (fun acc c -> min acc (Cpusim.Haswell.sequential_time c.v_ir))
+    infinity choices
+
+let best_openmp_time ?cores (b : benchmark) =
+  let choices = variant_choices b in
+  List.fold_left
+    (fun acc c -> min acc (Cpusim.Haswell.openmp_time ?cores c.v_ir))
+    infinity choices
+
+(* Flops of the cheapest variant: the flop count a CPU baseline performs. *)
+let min_variant_flops (b : benchmark) =
+  let choices = variant_choices b in
+  List.fold_left (fun acc c -> min acc (Tcr.Ir.flops c.v_ir)) max_int choices

@@ -1,0 +1,82 @@
+(** The end-to-end Barracuda pipeline (Figure 1): OCTOPI variants -> merged
+    TCR programs -> decision-algorithm search space -> SURF. A candidate
+    fixes one OCTOPI variant per statement and one search-space point per
+    generated kernel; the SURF pool is the full cross-product space when
+    small enough, otherwise a uniform sample of it (Algorithm 2 takes an
+    explicit configuration pool as input). *)
+
+type benchmark = {
+  label : string;
+  statements : Octopi.Contraction.t list;
+}
+
+type candidate = {
+  variant_ids : int list;  (** chosen OCTOPI variant per statement *)
+  ir : Tcr.Ir.t;
+  points : Tcr.Space.point list;
+  features : Surf.Feature.features;
+}
+
+type result = {
+  benchmark : benchmark;
+  arch : Gpusim.Arch.t;
+  best : candidate;
+  best_report : Gpusim.Gpu.report;
+  time_per_eval_s : float;  (** one evaluation, transfers amortized *)
+  gflops : float;
+  search_seconds : float;  (** modeled empirical search cost *)
+  evaluations : int;
+  pool_size : int;
+  total_space : int;  (** exact size of the full cross-product space *)
+  variant_count : int;
+  convergence : float list;
+}
+
+val benchmark_of_dsl : label:string -> string -> benchmark
+
+(** One merged IR plus its per-statement spaces per joint variant choice. *)
+type variant_choice = {
+  ids : int list;
+  v_ir : Tcr.Ir.t;
+  spaces : Tcr.Space.program_space;
+}
+
+val variant_choices : benchmark -> variant_choice list
+val total_space : variant_choice list -> int
+val candidate_of : variant_choice -> Tcr.Space.point list -> candidate
+
+(** Build the SURF pool, optionally filtered by a pruning policy. *)
+val build_pool :
+  ?pool_per_variant:int ->
+  ?prune:Tcr.Prune.policy ->
+  Util.Rng.t ->
+  variant_choice list ->
+  candidate array
+
+type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
+
+val tune :
+  ?strategy:strategy ->
+  ?reps:int ->
+  ?pool_per_variant:int ->
+  ?prune:Tcr.Prune.policy ->
+  rng:Util.Rng.t ->
+  arch:Gpusim.Arch.t ->
+  benchmark ->
+  result
+
+(** The tuned CUDA translation unit. *)
+val emit_cuda : result -> string
+
+(** Execute the tuned program on random inputs and compare against the
+    einsum oracle. *)
+val validate : ?tol:float -> ?rng:Util.Rng.t -> result -> bool
+
+(** CPU baselines use the variant minimizing CPU time (strength reduction
+    benefits the sequential code too). *)
+val best_sequential_time : benchmark -> float
+
+val best_openmp_time : ?cores:int -> benchmark -> float
+
+(** Flops of the cheapest variant: what a CPU baseline performs. *)
+val min_variant_flops : benchmark -> int

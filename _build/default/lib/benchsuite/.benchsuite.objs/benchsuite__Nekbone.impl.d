@@ -1,0 +1,1 @@
+lib/benchsuite/nekbone.ml: Array Autotune Codegen Cpusim Gpusim List Octopi Suite Tcr Tensor Util

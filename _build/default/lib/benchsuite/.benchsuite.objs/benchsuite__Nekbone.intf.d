@@ -1,0 +1,1 @@
+lib/benchsuite/nekbone.mli: Autotune Gpusim Tcr Tensor Util

@@ -1,0 +1,1 @@
+lib/benchsuite/nwchem.ml: Autotune List Printf String

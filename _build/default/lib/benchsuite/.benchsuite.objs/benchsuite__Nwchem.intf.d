@@ -1,0 +1,1 @@
+lib/benchsuite/nwchem.mli: Autotune

@@ -1,0 +1,194 @@
+(* Nekbone mini-app (Section VI): a conjugate-gradient solve over a
+   spectral-element operator whose computational core is the pair of tensor
+   contractions local_grad3 (Lg3) and local_grad3t (Lg3t), at order
+   12x12x12, batched over elements.
+
+   Functional side: an actual CG iteration implemented over the kernel-IR
+   executor, solving A x = b with A = lg3t(G o lg3(x)) + m x (symmetric
+   positive definite for positive geometry factors G and mass m > 0).
+
+   Performance side: per-iteration simulated time = tuned Lg3 + tuned Lg3t
+   kernels + bandwidth-bound auxiliary work (geometry scaling and the CG
+   vector operations), the ~60%-tensor-contraction split the paper
+   describes. *)
+
+type problem = { p : int; elems : int }
+
+let default = { p = 12; elems = 512 }
+
+let field_shape { p; elems } = Tensor.Shape.of_list [ elems; p; p; p ]
+
+let lg3_benchmark { p; elems } = Suite.lg3 ~p ~elems ()
+let lg3t_benchmark { p; elems } = Suite.lg3t ~p ~elems ()
+
+(* ------------------------------------------------------------------ *)
+(* Functional operator and CG *)
+
+type operator = {
+  problem : problem;
+  d : Tensor.Dense.t;              (* p x p differentiation matrix *)
+  geometry : Tensor.Dense.t array; (* per-direction positive diagonal, field-shaped *)
+  mass : float;
+  lg3_ir : Tcr.Ir.t;
+  lg3_points : Tcr.Space.point list;
+  lg3t_ir : Tcr.Ir.t;
+  lg3t_points : Tcr.Space.point list;
+}
+
+(* Default decompositions (first point of each kernel's space) when the
+   operator is used without tuning. *)
+let default_points (ir : Tcr.Ir.t) =
+  let ps = Tcr.Space.of_ir ir in
+  List.map (fun s -> List.hd (Tcr.Space.enumerate s)) ps.op_spaces
+
+let merged_ir (b : Autotune.Tuner.benchmark) =
+  let choices =
+    List.map
+      (fun c ->
+        match (Octopi.Variants.of_contraction c).variants with
+        | v :: _ -> (c, v)
+        | [] -> invalid_arg "Nekbone: statement with no variant")
+      b.statements
+  in
+  Autotune.Combine.merge ~label:b.label choices
+
+let make_operator ?(rng = Util.Rng.create 97) ?lg3_points ?lg3t_points problem =
+  let lg3_ir = merged_ir (lg3_benchmark problem) in
+  let lg3t_ir = merged_ir (lg3t_benchmark problem) in
+  let p = problem.p in
+  let d =
+    (* a smooth full differentiation-like matrix *)
+    Tensor.Dense.init (Tensor.Shape.of_list [ p; p ]) (fun idx ->
+        let i = idx.(0) and l = idx.(1) in
+        if i = l then 0.5 else 1.0 /. float_of_int (i - l))
+  in
+  let geometry =
+    Array.init 3 (fun _ ->
+        Tensor.Dense.init (field_shape problem) (fun _ ->
+            0.5 +. Util.Rng.float rng 1.0))
+  in
+  {
+    problem;
+    d;
+    geometry;
+    mass = 0.4;
+    lg3_ir;
+    lg3_points = (match lg3_points with Some p -> p | None -> default_points lg3_ir);
+    lg3t_ir;
+    lg3t_points = (match lg3t_points with Some p -> p | None -> default_points lg3t_ir);
+  }
+
+let hadamard a b =
+  let out = Tensor.Dense.copy a in
+  let da = Tensor.Dense.data out and db = Tensor.Dense.data b in
+  Array.iteri (fun i x -> da.(i) <- x *. db.(i)) da;
+  out
+
+(* w = lg3t(G o lg3(u)) + mass * u *)
+let apply op u =
+  let env = Codegen.Exec.run_program op.lg3_ir op.lg3_points [ ("D", op.d); ("u", u) ] in
+  let ur = hadamard (List.assoc "ur" env) op.geometry.(0) in
+  let us = hadamard (List.assoc "us" env) op.geometry.(1) in
+  let ut = hadamard (List.assoc "ut" env) op.geometry.(2) in
+  let env =
+    Codegen.Exec.run_program op.lg3t_ir op.lg3t_points
+      [ ("D", op.d); ("ur", ur); ("us", us); ("ut", ut) ]
+  in
+  let w = List.assoc "w" env in
+  Tensor.Dense.add w (Tensor.Dense.scale op.mass u)
+
+type cg_stats = {
+  iterations : int;
+  residuals : float list;  (* ||r||_2 per iteration, newest last *)
+  converged : bool;
+}
+
+let cg_solve ?(tol = 1e-8) ?(max_iter = 200) op b =
+  let x = Tensor.Dense.create (Tensor.Dense.shape b) in
+  let r = Tensor.Dense.copy b in
+  let p = Tensor.Dense.copy r in
+  let rr = ref (Tensor.Dense.dot r r) in
+  let residuals = ref [ sqrt !rr ] in
+  let iters = ref 0 in
+  let b_norm = max 1e-30 (Tensor.Dense.norm2 b) in
+  (try
+     while !iters < max_iter && sqrt !rr /. b_norm > tol do
+       let ap = apply op p in
+       let alpha = !rr /. Tensor.Dense.dot p ap in
+       let x' = Tensor.Dense.add x (Tensor.Dense.scale alpha p) in
+       Array.blit (Tensor.Dense.data x') 0 (Tensor.Dense.data x) 0 (Tensor.Dense.num_elements x);
+       let r' = Tensor.Dense.sub r (Tensor.Dense.scale alpha ap) in
+       Array.blit (Tensor.Dense.data r') 0 (Tensor.Dense.data r) 0 (Tensor.Dense.num_elements r);
+       let rr' = Tensor.Dense.dot r r in
+       let beta = rr' /. !rr in
+       let p' = Tensor.Dense.add r (Tensor.Dense.scale beta p) in
+       Array.blit (Tensor.Dense.data p') 0 (Tensor.Dense.data p) 0 (Tensor.Dense.num_elements p);
+       rr := rr';
+       residuals := sqrt rr' :: !residuals;
+       incr iters
+     done
+   with Division_by_zero -> ());
+  let converged = sqrt !rr /. b_norm <= tol in
+  (x, { iterations = !iters; residuals = List.rev !residuals; converged })
+
+(* ------------------------------------------------------------------ *)
+(* Performance accounting *)
+
+let field_points problem = Tensor.Shape.num_elements (field_shape problem)
+
+(* Auxiliary per-iteration work beyond the two contractions: geometry
+   scaling (3 fields r+w) and the CG vector updates/dots (~5 field sweeps),
+   all bandwidth-bound streaming. *)
+let aux_bytes problem = 8 * field_points problem * ((3 * 2) + (5 * 2))
+
+let aux_flops problem = field_points problem * (3 + 10)
+
+let contraction_flops op = Tcr.Ir.flops op.lg3_ir + Tcr.Ir.flops op.lg3t_ir
+
+let total_flops_per_iter op = contraction_flops op + aux_flops op.problem
+
+(* Fraction of sequential CPU time spent in the contractions; the paper
+   quotes ~60% for Nekbone. *)
+let contraction_fraction_cpu op =
+  let t_contr =
+    Cpusim.Haswell.sequential_time op.lg3_ir +. Cpusim.Haswell.sequential_time op.lg3t_ir
+  in
+  let t_aux =
+    float_of_int (aux_bytes op.problem)
+    /. (Cpusim.Haswell.haswell.single_core_bw_gbs *. 1e9)
+  in
+  t_contr /. (t_contr +. t_aux)
+
+(* GPU per-iteration time from tuned kernel reports. *)
+let gpu_iter_time (arch : Gpusim.Arch.t) ~lg3_kernel_time ~lg3t_kernel_time problem =
+  let aux =
+    float_of_int (aux_bytes problem)
+    /. (arch.mem_bw_gbs *. 1e9 *. arch.bw_efficiency)
+    +. (3.0 *. arch.kernel_launch_us *. 1e-6)
+  in
+  lg3_kernel_time +. lg3t_kernel_time +. aux
+
+let cpu_iter_time ~cores op =
+  let f = if cores <= 1 then Cpusim.Haswell.sequential_time else Cpusim.Haswell.openmp_time ~cores in
+  let bw =
+    if cores <= 1 then Cpusim.Haswell.haswell.single_core_bw_gbs
+    else Cpusim.Haswell.haswell.mem_bw_gbs
+  in
+  f op.lg3_ir +. f op.lg3t_ir
+  +. (float_of_int (aux_bytes op.problem) /. (bw *. 1e9))
+
+let gflops_of_iter_time op time = float_of_int (total_flops_per_iter op) /. time /. 1e9
+
+(* ------------------------------------------------------------------ *)
+(* Joint tuning (the paper's Section VIII outlook: "jointly optimizing
+   lgrad3, lgrad3t and adjacent code"): both gradient computations merged
+   into a single six-statement program so the autotuner sees them - and the
+   device sees their data residency - as one unit. *)
+
+let joint_benchmark problem =
+  let lg3 = lg3_benchmark problem in
+  let lg3t = lg3t_benchmark problem in
+  {
+    Autotune.Tuner.label = "nekbone_joint";
+    statements = lg3.statements @ lg3t.statements;
+  }

@@ -1,0 +1,90 @@
+(* The NWChem CCSD(T) loop-driven kernel excerpts (Jeff Hammond's
+   nwchem-tce-triples-kernels), Table I's S1/D1/D2 families: nine index
+   permutation variants each of three contraction forms writing the
+   rank-6 triples tensor t3, with trip count 16 in every dimension.
+
+   s1: t3(h3,h2,h1,p6,p5,p4) += t1(p?,h?) * v2(h?,h?,p?,p?)   (no summation)
+   d1: t3(h3,h2,h1,p6,p5,p4) += t2(h7,p?,p?,h?) * v2(h?,h?,p?,h7)
+   d2: t3(h3,h2,h1,p6,p5,p4) += t2(p7,p?,h?,h?) * v2(p7,h?,p?,p?)
+*)
+
+type family = S1 | D1 | D2
+
+let family_name = function S1 -> "s1" | D1 -> "d1" | D2 -> "d2"
+
+(* (t2-or-t1 indices, v2 indices) for each of the nine kernels. *)
+let signatures = function
+  | S1 ->
+    [
+      ([ "p4"; "h1" ], [ "h3"; "h2"; "p6"; "p5" ]);
+      ([ "p4"; "h2" ], [ "h3"; "h1"; "p6"; "p5" ]);
+      ([ "p4"; "h3" ], [ "h2"; "h1"; "p6"; "p5" ]);
+      ([ "p5"; "h1" ], [ "h3"; "h2"; "p6"; "p4" ]);
+      ([ "p5"; "h2" ], [ "h3"; "h1"; "p6"; "p4" ]);
+      ([ "p5"; "h3" ], [ "h2"; "h1"; "p6"; "p4" ]);
+      ([ "p6"; "h1" ], [ "h3"; "h2"; "p5"; "p4" ]);
+      ([ "p6"; "h2" ], [ "h3"; "h1"; "p5"; "p4" ]);
+      ([ "p6"; "h3" ], [ "h2"; "h1"; "p5"; "p4" ]);
+    ]
+  | D1 ->
+    [
+      ([ "h7"; "p4"; "p5"; "h1" ], [ "h3"; "h2"; "p6"; "h7" ]);
+      ([ "h7"; "p4"; "p5"; "h2" ], [ "h3"; "h1"; "p6"; "h7" ]);
+      ([ "h7"; "p4"; "p5"; "h3" ], [ "h2"; "h1"; "p6"; "h7" ]);
+      ([ "h7"; "p4"; "p6"; "h1" ], [ "h3"; "h2"; "p5"; "h7" ]);
+      ([ "h7"; "p4"; "p6"; "h2" ], [ "h3"; "h1"; "p5"; "h7" ]);
+      ([ "h7"; "p4"; "p6"; "h3" ], [ "h2"; "h1"; "p5"; "h7" ]);
+      ([ "h7"; "p5"; "p6"; "h1" ], [ "h3"; "h2"; "p4"; "h7" ]);
+      ([ "h7"; "p5"; "p6"; "h2" ], [ "h3"; "h1"; "p4"; "h7" ]);
+      ([ "h7"; "p5"; "p6"; "h3" ], [ "h2"; "h1"; "p4"; "h7" ]);
+    ]
+  | D2 ->
+    [
+      ([ "p7"; "p4"; "h1"; "h2" ], [ "p7"; "h3"; "p6"; "p5" ]);
+      ([ "p7"; "p4"; "h2"; "h3" ], [ "p7"; "h1"; "p6"; "p5" ]);
+      ([ "p7"; "p4"; "h1"; "h3" ], [ "p7"; "h2"; "p6"; "p5" ]);
+      ([ "p7"; "p5"; "h1"; "h2" ], [ "p7"; "h3"; "p6"; "p4" ]);
+      ([ "p7"; "p5"; "h2"; "h3" ], [ "p7"; "h1"; "p6"; "p4" ]);
+      ([ "p7"; "p5"; "h1"; "h3" ], [ "p7"; "h2"; "p6"; "p4" ]);
+      ([ "p7"; "p6"; "h1"; "h2" ], [ "p7"; "h3"; "p5"; "p4" ]);
+      ([ "p7"; "p6"; "h2"; "h3" ], [ "p7"; "h1"; "p5"; "p4" ]);
+      ([ "p7"; "p6"; "h1"; "h3" ], [ "p7"; "h2"; "p5"; "p4" ]);
+    ]
+
+let first_factor_name = function S1 -> "t1" | D1 | D2 -> "t2"
+
+let sum_index = function S1 -> None | D1 -> Some "h7" | D2 -> Some "p7"
+
+let t3_indices = [ "h3"; "h2"; "h1"; "p6"; "p5"; "p4" ]
+
+(* DSL text of one kernel; [n] is the trip count (16 in the paper). *)
+let dsl family ~index ~n =
+  let t_idx, v_idx = List.nth (signatures family) (index - 1) in
+  let all_indices =
+    List.sort_uniq compare (t3_indices @ t_idx @ v_idx)
+  in
+  let dims =
+    String.concat " " (List.map (fun i -> Printf.sprintf "%s=%d" i n) all_indices)
+  in
+  let spaces l = String.concat " " l in
+  let sum_clause body =
+    match sum_index family with
+    | None -> body
+    | Some s -> Printf.sprintf "Sum([%s], %s)" s body
+  in
+  Printf.sprintf "dims: %s\nt3[%s] = %s\n" dims (spaces t3_indices)
+    (sum_clause
+       (Printf.sprintf "%s[%s] * v2[%s]" (first_factor_name family) (spaces t_idx)
+          (spaces v_idx)))
+
+let kernel_label family index = Printf.sprintf "%s_%d" (family_name family) index
+
+let benchmark ?(n = 16) family ~index =
+  Autotune.Tuner.benchmark_of_dsl
+    ~label:(kernel_label family index)
+    (dsl family ~index ~n)
+
+let benchmarks ?(n = 16) family =
+  List.init 9 (fun i -> benchmark ~n family ~index:(i + 1))
+
+let families = [ S1; D1; D2 ]

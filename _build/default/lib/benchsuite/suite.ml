@@ -1,0 +1,59 @@
+(* The tensor-contraction computations of Table I, written in the OCTOPI
+   DSL. Sizes are parameterized so the test-suite can validate kernels
+   functionally at small extents while the benchmark harness evaluates the
+   performance model at the paper's sizes. *)
+
+let benchmark = Autotune.Tuner.benchmark_of_dsl
+
+(* Eqn.(1): the 3-d spectral-element contraction of Figure 2(a); all index
+   extents are the polynomial order (10 in the paper's running example). *)
+let eqn1 ?(n = 10) () =
+  benchmark ~label:"eqn1"
+    (Printf.sprintf
+       {|
+dims: i=%d j=%d k=%d l=%d m=%d n=%d
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+|}
+       n n n n n n)
+
+(* local_grad3 from Nekbone: the gradient of a scalar field on [elems]
+   spectral elements of order [p] (12 in the paper), three small
+   matrix-multiply-shaped contractions sharing the field u. *)
+let lg3 ?(p = 12) ?(elems = 512) () =
+  benchmark ~label:"lg3"
+    (Printf.sprintf
+       {|
+dims: e=%d i=%d j=%d k=%d l=%d
+ur[e i j k] = Sum([l], D[i l] * u[e l j k])
+us[e i j k] = Sum([l], D[j l] * u[e i l k])
+ut[e i j k] = Sum([l], D[k l] * u[e i j l])
+|}
+       elems p p p p)
+
+(* local_grad3t: the transposed gradient (divergence-like), accumulating
+   the three directional contributions into one output field w. *)
+let lg3t ?(p = 12) ?(elems = 512) () =
+  benchmark ~label:"lg3t"
+    (Printf.sprintf
+       {|
+dims: e=%d i=%d j=%d k=%d l=%d
+w[e i j k] = Sum([l], D[l i] * ur[e l j k])
+w[e i j k] = Sum([l], D[l j] * us[e i l k])
+w[e i j k] = Sum([l], D[l k] * ut[e i j l])
+|}
+       elems p p p p)
+
+(* The TCE example tensor (Baumgartner et al. [4]): the four-tensor coupled
+   cluster contraction S = A*B*C*D over ten indices; strength reduction
+   turns the O(n^10) naive nest into sequences of binary contractions. *)
+let tce_ex ?(n = 16) () =
+  benchmark ~label:"tce_ex"
+    (Printf.sprintf
+       {|
+dims: a=%d b=%d c=%d d=%d e=%d f=%d i=%d j=%d k=%d l=%d
+S[a b i j] = Sum([c d e f k l], A[a c i k] * B[b e f l] * C[d f j k] * D[c d e l])
+|}
+       n n n n n n n n n n)
+
+let all_individual ?n ?p ?elems () =
+  [ eqn1 ?n (); lg3 ?p ?elems (); lg3t ?p ?elems (); tce_ex ?n () ]

@@ -1,0 +1,1 @@
+lib/codegen/c_emit.ml: Buffer List Option Printf String Tcr

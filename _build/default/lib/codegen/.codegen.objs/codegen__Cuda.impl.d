@@ -1,0 +1,1 @@
+lib/codegen/cuda.ml: Buffer Kernel List Printf String Tcr Tensor

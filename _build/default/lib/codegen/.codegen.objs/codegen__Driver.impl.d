@@ -1,0 +1,1 @@
+lib/codegen/driver.ml: Buffer C_emit Cuda List Printf String Tcr Tensor

@@ -1,0 +1,1 @@
+lib/codegen/driver.mli: Tcr

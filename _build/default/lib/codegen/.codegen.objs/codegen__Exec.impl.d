@@ -1,0 +1,1 @@
+lib/codegen/exec.ml: Array Kernel List Option Printf Tcr Tensor

@@ -1,0 +1,1 @@
+lib/codegen/exec.mli: Kernel Tcr Tensor

@@ -1,0 +1,1 @@
+lib/codegen/kernel.ml: List Option Printf Tcr

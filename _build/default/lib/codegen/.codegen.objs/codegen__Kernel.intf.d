@@ -1,0 +1,1 @@
+lib/codegen/kernel.mli: Tcr

@@ -1,0 +1,18 @@
+(** Sequential C and OpenACC emitters. The sequential form prints one loop
+    nest per statement using the fusion-aware loop orders (the paper's CPU
+    baseline); the OpenACC forms decorate the same nests with directives:
+    {e naive} marks parallelism with no decomposition guidance, {e
+    optimized} adds gang/vector clauses mirroring a Barracuda decomposition
+    plus scalar replacement (Section VI-B). *)
+
+type mode =
+  | Sequential
+  | Openmp  (** outermost parallel loop per statement (the paper's manual
+                OpenMP baseline) *)
+  | Acc_naive
+  | Acc_optimized of Tcr.Space.decomposition list  (** one per statement *)
+
+(** C expression for the row-major linear offset of a reference. *)
+val offset_expr : Tcr.Ir.t -> string list -> string
+
+val emit_program : ?mode:mode -> Tcr.Ir.t -> string

@@ -1,0 +1,8 @@
+(** Standalone CUDA driver generator: wraps a tuned translation unit in a
+    complete program whose [main] fills the inputs, runs [reps] timed
+    evaluations of the generated host wrapper (transfers included), checks
+    the device result against a naive CPU reference and prints achieved
+    GFlops - the artifact Orio's timing harness builds around each variant.
+    The exit status reflects the correctness check. *)
+
+val emit : ?reps:int -> ?seed:int -> Tcr.Ir.t -> Tcr.Space.point list -> string

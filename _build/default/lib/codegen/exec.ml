@@ -1,0 +1,186 @@
+(* Interpreter for the kernel IR.
+
+   Executes the same structure the CUDA emitter prints - including the
+   unrolled main loop plus epilogue and the scalar-replaced output - so the
+   test-suite can check that every transformation (decomposition,
+   permutation, unroll, scalar replacement) preserves semantics against the
+   einsum oracle. *)
+
+type env = (string * Tensor.Dense.t) list
+
+let find env name =
+  match List.assoc_opt name env with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Exec: unbound tensor %s" name)
+
+(* Compiled array reference: data plus the stride of each index slot. *)
+type ref_code = { data : float array; strides : int array (* per slot *) }
+
+let compile_ref (k : Kernel.t) ~slot_of env (name, dims) =
+  let tensor = find env name in
+  let shape = Tensor.Dense.shape tensor in
+  if Tensor.Shape.rank shape <> List.length dims then
+    invalid_arg (Printf.sprintf "Exec: rank mismatch for %s" name);
+  List.iteri
+    (fun pos i ->
+      if shape.(pos) <> Kernel.extent k i then
+        invalid_arg (Printf.sprintf "Exec: extent mismatch for %s on %s" name i))
+    dims;
+  let tensor_strides = Tensor.Shape.strides shape in
+  let nslots = Array.length (slot_of : (string * int) array) in
+  let strides = Array.make nslots 0 in
+  List.iteri
+    (fun pos i ->
+      let slot =
+        match Array.find_opt (fun (n, _) -> n = i) slot_of with
+        | Some (_, s) -> s
+        | None -> invalid_arg (Printf.sprintf "Exec: index %s has no slot" i)
+      in
+      strides.(slot) <- strides.(slot) + tensor_strides.(pos))
+    dims;
+  { data = Tensor.Dense.data tensor; strides }
+
+let offset r (env_vals : int array) =
+  let off = ref 0 in
+  for s = 0 to Array.length env_vals - 1 do
+    off := !off + (r.strides.(s) * env_vals.(s))
+  done;
+  !off
+
+(* Run one kernel over its grid. Accumulates into the (pre-zeroed or
+   previously accumulated) output tensor, as the generated CUDA does by
+   loading the output into the scalar first. *)
+let run_kernel (k : Kernel.t) (env : env) =
+  let d = k.decomp in
+  (* slot layout: tx, bx, [ty], [by], serial loops *)
+  let index_names =
+    (d.tx :: d.bx :: (Option.to_list d.ty @ Option.to_list d.by))
+    @ List.map (fun (l : Kernel.loop) -> l.index) k.thread_loops
+  in
+  let slot_of = Array.of_list (List.mapi (fun i n -> (n, i)) index_names) in
+  let slot name =
+    match Array.find_opt (fun (n, _) -> n = name) slot_of with
+    | Some (_, s) -> s
+    | None -> assert false
+  in
+  let vals = Array.make (Array.length slot_of) 0 in
+  let out_ref = compile_ref k ~slot_of env (k.op.out, k.op.out_indices) in
+  let factor_refs =
+    Array.of_list (List.map (compile_ref k ~slot_of env) k.op.factors)
+  in
+  let nf = Array.length factor_refs in
+  (* innermost body: one multiply-accumulate *)
+  let product () =
+    let p = ref 1.0 in
+    for f = 0 to nf - 1 do
+      let r = factor_refs.(f) in
+      p := !p *. r.data.(offset r vals)
+    done;
+    !p
+  in
+  (* split serial loops: parallel (distinct output elements) outside,
+     reductions inside accumulated into the scalar *)
+  let parallel_loops, reduction_loops =
+    List.partition (fun (l : Kernel.loop) -> l.parallel) k.thread_loops
+  in
+  let acc = ref 0.0 in
+  let rec run_reductions = function
+    | [] -> acc := !acc +. product ()
+    | (l : Kernel.loop) :: rest ->
+      let s = slot l.index in
+      let u = l.unroll and e = l.extent in
+      let i = ref 0 in
+      (* unrolled main loop *)
+      while !i + u <= e do
+        for j = 0 to u - 1 do
+          vals.(s) <- !i + j;
+          run_reductions rest
+        done;
+        i := !i + u
+      done;
+      (* epilogue *)
+      while !i < e do
+        vals.(s) <- !i;
+        run_reductions rest;
+        incr i
+      done
+  in
+  let run_output_element () =
+    if k.scalar_replaced then begin
+      (* load once, accumulate in the register, store once *)
+      let off = offset out_ref vals in
+      acc := out_ref.data.(off);
+      run_reductions reduction_loops;
+      out_ref.data.(off) <- !acc
+    end
+    else begin
+      (* ablation form: read-modify-write the output every iteration *)
+      acc := 0.0;
+      let off = offset out_ref vals in
+      let saved = out_ref.data.(off) in
+      run_reductions reduction_loops;
+      out_ref.data.(off) <- saved +. !acc
+    end
+  in
+  let rec run_parallel = function
+    | [] -> run_output_element ()
+    | (l : Kernel.loop) :: rest ->
+      let s = slot l.index in
+      for i = 0 to l.extent - 1 do
+        vals.(s) <- i;
+        run_parallel rest
+      done
+  in
+  let bx_e, by_e = k.grid and tx_e, ty_e = k.block in
+  let tx_s = slot d.tx and bx_s = slot d.bx in
+  let ty_s = Option.map slot d.ty and by_s = Option.map slot d.by in
+  for by = 0 to by_e - 1 do
+    Option.iter (fun s -> vals.(s) <- by) by_s;
+    for bx = 0 to bx_e - 1 do
+      vals.(bx_s) <- bx;
+      for ty = 0 to ty_e - 1 do
+        Option.iter (fun s -> vals.(s) <- ty) ty_s;
+        for tx = 0 to tx_e - 1 do
+          vals.(tx_s) <- tx;
+          run_parallel parallel_loops
+        done
+      done
+    done
+  done
+
+(* Allocate zeroed temporaries and outputs for a program. *)
+let allocate_produced (ir : Tcr.Ir.t) (inputs : env) : env =
+  let produced =
+    List.filter (fun (v : Tcr.Ir.var) -> v.role <> Tcr.Ir.Input) ir.vars
+  in
+  inputs
+  @ List.map
+      (fun (v : Tcr.Ir.var) -> (v.name, Tensor.Dense.create (Tcr.Ir.var_shape ir v.name)))
+      produced
+
+(* Run a whole program: lower each op under its point and execute the
+   kernels in sequence (data stays "device-resident" in [env]). Returns the
+   extended environment; the output tensor is found under its name. *)
+let run_program ?scalar_replace (ir : Tcr.Ir.t) (points : Tcr.Space.point list) (inputs : env) : env =
+  let env = allocate_produced ir inputs in
+  let kernels = Kernel.lower_program ?scalar_replace ir points in
+  List.iter (fun k -> run_kernel k env) kernels;
+  env
+
+(* Reference evaluation of a TCR program using the einsum oracle, for
+   validation: ops are evaluated in order, accumulating when several ops
+   target the same tensor. *)
+let run_reference (ir : Tcr.Ir.t) (inputs : env) : env =
+  let env = allocate_produced ir inputs in
+  List.iter
+    (fun (op : Tcr.Ir.op) ->
+      let operands =
+        List.map (fun (name, idx) -> Tensor.Einsum.operand (find env name) idx) op.factors
+      in
+      let value = Tensor.Einsum.contract ~output_indices:op.out_indices operands in
+      let dest = find env op.out in
+      let sum = Tensor.Dense.add dest value in
+      Array.blit (Tensor.Dense.data sum) 0 (Tensor.Dense.data dest) 0
+        (Tensor.Dense.num_elements dest))
+    ir.ops;
+  env

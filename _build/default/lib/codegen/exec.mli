@@ -1,0 +1,23 @@
+(** Interpreter for the kernel IR. Executes the same structure the CUDA
+    emitter prints - including the unrolled main loop plus epilogue and the
+    scalar-replaced output - so the test-suite can check that every
+    transformation preserves semantics against the einsum oracle. *)
+
+type env = (string * Tensor.Dense.t) list
+
+(** Execute one kernel over its grid, accumulating into the output (which
+    the generated CUDA also loads before accumulating). Raises
+    [Invalid_argument] on unbound tensors or shape mismatches. *)
+val run_kernel : Kernel.t -> env -> unit
+
+(** Extend an input environment with zeroed temporaries and outputs. *)
+val allocate_produced : Tcr.Ir.t -> env -> env
+
+(** Lower each statement under its point and execute the kernels in order
+    (data stays "device-resident" in the environment). Returns the extended
+    environment; outputs are found under their names. *)
+val run_program : ?scalar_replace:bool -> Tcr.Ir.t -> Tcr.Space.point list -> env -> env
+
+(** Reference evaluation with the einsum oracle, accumulating when several
+    statements target the same tensor. *)
+val run_reference : Tcr.Ir.t -> env -> env

@@ -1,0 +1,141 @@
+(** Barracuda: the public facade over the full pipeline of the paper
+    (Figure 1) - OCTOPI tensor DSL -> strength reduction -> TCR -> GPU
+    decision algorithm -> SURF autotuning -> CUDA emission - together with
+    the simulated devices it is evaluated on.
+
+    Typical use:
+
+    {[
+      let result =
+        Barracuda.tune ~arch:Barracuda.Arch.gtx980
+          "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])"
+      in
+      Format.printf "%a@." Barracuda.pp_summary (Barracuda.summarize result);
+      print_string (Barracuda.cuda_of result)
+    ]}
+
+    Each pipeline stage is re-exported below under its paper name; the
+    [module type of struct include ... end] idiom preserves type equalities
+    with the underlying libraries, so facade values interoperate with
+    direct library calls (e.g. [Benchsuite]). *)
+
+type tuned = Autotune.Tuner.result
+
+(** {1 One-call pipeline entry points} *)
+
+(** Parse a DSL program (Figure 2(a) syntax) into a tunable benchmark. *)
+val parse : ?label:string -> string -> Autotune.Tuner.benchmark
+
+(** The OCTOPI strength-reduction variants of each statement. *)
+val variants : string -> Octopi.Variants.t list
+
+(** Run the full pipeline: OCTOPI variants, decision-algorithm search
+    space, SURF search with [max_evals] evaluations (default 100, the
+    paper's budget) on the simulated [arch] (default GTX 980).
+    Deterministic for a fixed [seed]. *)
+val tune :
+  ?label:string -> ?seed:int -> ?max_evals:int -> ?arch:Gpusim.Arch.t -> string -> tuned
+
+(** [tune] from a NumPy-style einsum spec such as ["lk,mj,ni,lmn->ijk"]. *)
+val tune_einsum :
+  ?label:string ->
+  ?seed:int ->
+  ?max_evals:int ->
+  ?arch:Gpusim.Arch.t ->
+  ?output:string ->
+  ?names:string list ->
+  ?extents:(string * int) list ->
+  string ->
+  tuned
+
+(** The tuned CUDA translation unit (kernels in the style of Figure 2(d)
+    plus a host wrapper). *)
+val cuda_of : tuned -> string
+
+(** Sequential C / OpenMP / OpenACC renderings of the best variant. *)
+val c_of : ?mode:Codegen.C_emit.mode -> tuned -> string
+
+(** Execute the tuned program on named input tensors; returns the output
+    tensors. Bit-exact what the emitted CUDA computes. *)
+val run : tuned -> (string * Tensor.Dense.t) list -> (string * Tensor.Dense.t) list
+
+(** Serialize the winning configuration (variant ids + Figure 2(c) recipe)
+    to a small text artifact. *)
+val save_tuning : tuned -> string
+
+(** Reload an artifact produced by {!save_tuning}: returns the merged TCR
+    program and per-kernel points, ready for {!Cuda.emit_program}. *)
+val load_tuning :
+  Autotune.Tuner.benchmark -> string -> Tcr.Ir.t * Tcr.Space.point list
+
+(** Standalone CUDA driver (main + timing loop + CPU reference check). *)
+val driver_of : ?reps:int -> tuned -> string
+
+(** {1 Summaries} *)
+
+type summary = {
+  gflops : float;
+  time_per_eval_s : float;
+  speedup_vs_sequential : float;
+  search_seconds : float;
+  variant_count : int;
+  space_size : int;
+}
+
+val summarize : tuned -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Pipeline stages under their paper names} *)
+
+module Shape : module type of struct include Tensor.Shape end
+module Einsum : module type of struct include Tensor.Einsum end
+
+(** Dense row-major tensors ({!Tensor.Dense}). *)
+module Tensor : module type of struct include Tensor.Dense end
+
+module Dsl : module type of struct include Octopi.Parse end
+module Contraction : module type of struct include Octopi.Contraction end
+
+(** Algorithm 1 ({!Octopi.Plan}). *)
+module Strength_reduction : module type of struct include Octopi.Plan end
+
+module Variant_sets : module type of struct include Octopi.Variants end
+module Fusion : module type of struct include Octopi.Fusion end
+module Decision : module type of struct include Tcr.Decision end
+module Space : module type of struct include Tcr.Space end
+module Tcr_orio : module type of struct include Tcr.Orio end
+module Tcr_prune : module type of struct include Tcr.Prune end
+module Tcr_cse : module type of struct include Tcr.Cse end
+
+(** The Orio/CHiLL annotation layer of Figure 2(c) ({!Tcr.Orio}). *)
+module Orio : module type of struct include Tcr.Orio end
+
+module Prune : module type of struct include Tcr.Prune end
+module Cse : module type of struct include Tcr.Cse end
+
+(** The intermediate representation of Figure 2(b) ({!Tcr.Ir}). *)
+module Tcr : module type of struct include Tcr.Ir end
+
+module Kernel : module type of struct include Codegen.Kernel end
+module Cuda : module type of struct include Codegen.Cuda end
+module C : module type of struct include Codegen.C_emit end
+module Exec : module type of struct include Codegen.Exec end
+module Arch : module type of struct include Gpusim.Arch end
+module Gpu : module type of struct include Gpusim.Gpu end
+module Cpu : module type of struct include Cpusim.Haswell end
+module Openacc : module type of struct include Cpusim.Openacc end
+module Forest : module type of struct include Surf.Forest end
+
+(** Algorithm 2 ({!Surf.Search}). *)
+module Surf : module type of struct include Surf.Search end
+
+module Tuner : module type of struct include Autotune.Tuner end
+module Store : module type of struct include Autotune.Store end
+module Ttgt : module type of struct include Autotune.Ttgt end
+module Gemm : module type of struct include Gpusim.Gemm end
+module Cache : module type of struct include Gpusim.Cache end
+module Simtrace : module type of struct include Gpusim.Simtrace end
+
+module Driver : module type of struct include Codegen.Driver end
+module Einsum_notation : module type of struct include Octopi.Einsum_notation end
+module Rng : module type of struct include Util.Rng end

@@ -1,0 +1,1 @@
+lib/cpusim/haswell.ml: List Tcr

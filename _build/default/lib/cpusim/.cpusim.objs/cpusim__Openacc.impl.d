@@ -1,0 +1,1 @@
+lib/cpusim/openacc.ml: Gpusim List Tcr

@@ -1,0 +1,1 @@
+lib/cpusim/openacc.mli: Gpusim Tcr

@@ -1,0 +1,110 @@
+(* CPU performance model for the paper's host baseline (an Intel Haswell).
+
+   Sequential execution of the TCR loop nests is modeled per statement as a
+   roofline: compute time from an achieved flops-per-cycle rate (scalar code
+   with some superscalar overlap, degraded when the references are not
+   contiguous under the loop order) versus memory time from the streamed
+   bytes of cache-exceeding tensors. *)
+
+type t = {
+  name : string;
+  clock_ghz : float;
+  cores : int;
+  flops_per_cycle : float;      (* achieved by compiled scalar loop nests *)
+  vector_bonus : float;         (* extra factor for hand-tuned/OpenMP code *)
+  l1_bytes : int;
+  l2_bytes : int;
+  llc_bytes : int;
+  mem_bw_gbs : float;           (* all cores *)
+  single_core_bw_gbs : float;
+  parallel_efficiency : float;  (* OpenMP scaling efficiency *)
+}
+
+let haswell =
+  {
+    name = "Haswell i7-4770";
+    clock_ghz = 3.4;
+    cores = 4;
+    flops_per_cycle = 1.15;
+    vector_bonus = 1.6;
+    l1_bytes = 32 * 1024;
+    l2_bytes = 256 * 1024;
+    llc_bytes = 8 * 1024 * 1024;
+    mem_bw_gbs = 25.6;
+    single_core_bw_gbs = 14.0;
+    parallel_efficiency = 0.92;
+  }
+
+(* Streamed bytes of one statement: tensors larger than the last-level
+   cache are re-read from DRAM on every pass; smaller tensors are loaded
+   once. The scalar-replaced output is read and written once. *)
+let op_bytes (cpu : t) (ir : Tcr.Ir.t) (op : Tcr.Ir.op) =
+  let tensor_bytes name = Tcr.Ir.var_bytes ir name in
+  let out = 2 * tensor_bytes op.out in
+  let ins =
+    List.fold_left
+      (fun acc (name, dims) ->
+        let bytes = tensor_bytes name in
+        if bytes <= cpu.llc_bytes then acc + bytes
+        else begin
+          (* A loop index absent from the reference re-reads the slice that
+             varies inside it; re-reads only reach DRAM when that slice
+             exceeds the cache. Walk loops outermost-in, tracking the slice
+             still varying and the accumulated re-read factor. *)
+          let rec walk loops slice passes =
+            match loops with
+            | [] -> passes
+            | i :: rest ->
+              if List.mem i dims then walk rest (slice / Tcr.Ir.extent ir i) passes
+              else if slice * 8 > cpu.llc_bytes then
+                walk rest slice (passes * Tcr.Ir.extent ir i)
+              else passes
+          in
+          let elems = bytes / 8 in
+          acc + (bytes * walk op.loop_order elems 1)
+        end)
+      0 op.factors
+  in
+  out + ins
+
+(* Contiguity degradation: non-unit-stride innermost accesses cost extra. *)
+let locality_factor (op : Tcr.Ir.op) =
+  let refs = (op.out, op.out_indices) :: op.factors in
+  let contiguous =
+    List.length
+      (List.filter (fun (_, dims) -> Tcr.Access.contiguous ~loop_order:op.loop_order dims) refs)
+  in
+  0.6 +. (0.4 *. float_of_int contiguous /. float_of_int (List.length refs))
+
+let op_time (cpu : t) ~cores ~vectorized (ir : Tcr.Ir.t) (op : Tcr.Ir.op) =
+  let flops = float_of_int (Tcr.Ir.op_flops ir op) in
+  let fpc =
+    cpu.flops_per_cycle *. locality_factor op
+    *. if vectorized then cpu.vector_bonus else 1.0
+  in
+  let par =
+    if cores <= 1 then 1.0
+    else begin
+      (* the outermost parallel loop limits usable cores *)
+      let outer_extent =
+        match op.loop_order with
+        | i :: _ when List.mem i op.out_indices -> Tcr.Ir.extent ir i
+        | _ -> 1
+      in
+      float_of_int (min cores outer_extent) *. cpu.parallel_efficiency
+    end
+  in
+  let t_comp = flops /. (cpu.clock_ghz *. 1e9 *. fpc *. par) in
+  let bw = if cores <= 1 then cpu.single_core_bw_gbs else cpu.mem_bw_gbs in
+  let t_mem = float_of_int (op_bytes cpu ir op) /. (bw *. 1e9) in
+  max t_comp t_mem
+
+(* One evaluation of the whole program. *)
+let sequential_time ?(cpu = haswell) (ir : Tcr.Ir.t) =
+  List.fold_left (fun acc op -> acc +. op_time cpu ~cores:1 ~vectorized:false ir op) 0.0 ir.ops
+
+let openmp_time ?(cpu = haswell) ?(cores = haswell.cores) (ir : Tcr.Ir.t) =
+  List.fold_left (fun acc op -> acc +. op_time cpu ~cores ~vectorized:true ir op) 0.0 ir.ops
+
+let gflops_of_time (ir : Tcr.Ir.t) time_s =
+  float_of_int (Tcr.Ir.flops ir) /. time_s /. 1e9

@@ -1,0 +1,84 @@
+(* OpenACC compilation model (Section VI-B).
+
+   Three GPU code-generation strategies are compared on the same TCR
+   program:
+
+   - [Naive]: parallelization directives with no decomposition guidance.
+     The directive compiler gangs the outermost parallel loop and vectors
+     the next one, which rarely coalesces; without a data region, arrays
+     are copied to and from the device around every kernel invocation.
+   - [Optimized]: Barracuda's tuned thread/block decomposition expressed as
+     gang/vector clauses, data kept resident, scalar replacement applied -
+     but no loop permutation or unroll tuning (unroll factor 1).
+   - Barracuda itself additionally tunes permutation and unrolling (and is
+     evaluated by [Autotune], not here). *)
+
+type strategy = Naive | Optimized of Tcr.Space.point list
+
+(* The naive decomposition of one statement: the directive compiler gangs
+   the outermost parallel loop and vectors the innermost one, leaving a
+   narrow 1-D thread block and everything else serial. *)
+let naive_point (ir : Tcr.Ir.t) (op : Tcr.Ir.op) =
+  let parallel = List.filter (fun i -> List.mem i op.out_indices) op.loop_order in
+  match parallel with
+  | bx :: (_ :: _ as rest) ->
+    ignore ir;
+    let tx = List.nth rest (List.length rest - 1) in
+    { Tcr.Space.decomp = { tx; ty = None; bx; by = None }; unrolls = []; red_order = [] }
+  | [ only ] ->
+    (* single parallel loop: gang it; vector over the innermost reduction
+       loop is not legal without a reduction clause, so threads stay 1 -
+       modeled as a 1-wide thread block via tx = the only parallel loop *)
+    { Tcr.Space.decomp = { tx = only; ty = None; bx = only; by = None }; unrolls = []; red_order = [] }
+  | [] -> invalid_arg "Openacc.naive_point: no parallel loop"
+
+(* A kernel whose tx and bx coincide is the degenerate 1-parallel-loop case;
+   split the loop conceptually: blocks = extent, 1 thread each. The
+   simulator receives tx extent 1 via a synthetic serial mapping, which we
+   approximate by timing it as fully uncoalesced single-thread blocks. *)
+let degenerate d = d.Tcr.Space.tx = d.Tcr.Space.bx
+
+let points ir strategy =
+  match strategy with
+  | Naive -> List.map (naive_point ir) ir.Tcr.Ir.ops
+  | Optimized pts ->
+    List.map
+      (fun (p : Tcr.Space.point) -> { p with unrolls = List.map (fun (l, _) -> (l, 1)) p.unrolls; red_order = [] })
+      pts
+
+(* Directive-compiler code-quality overheads relative to the specialized
+   CUDA that CUDA-CHiLL emits: the generic scheduling of "kernels" regions
+   costs more than "parallel loop" regions with explicit clauses. *)
+let naive_overhead = 1.4
+let optimized_overhead = 1.25
+
+(* Simulated time of one evaluation under the strategy. Both strategies
+   keep a data region around the measurement loop (transfers amortized over
+   [reps]); they differ in decomposition quality, tuning, and generated-code
+   overhead. *)
+let time (arch : Gpusim.Arch.t) (ir : Tcr.Ir.t) ~reps strategy =
+  let pts = points ir strategy in
+  let ok =
+    List.for_all (fun (p : Tcr.Space.point) -> not (degenerate p.decomp)) pts
+  in
+  if not ok then
+    invalid_arg "Openacc.time: degenerate decomposition unsupported by model";
+  let report = Gpusim.Gpu.measure arch ir pts in
+  let overhead =
+    match strategy with Naive -> naive_overhead | Optimized _ -> optimized_overhead
+  in
+  (report.kernel_time_s *. overhead)
+  +. (report.transfer.Gpusim.Transfer.time_s /. float_of_int reps)
+
+(* Kernel-only time (no transfers), for embedding in an application context
+   that accounts transfers itself (e.g. the Nekbone CG loop). *)
+let kernel_time (arch : Gpusim.Arch.t) (ir : Tcr.Ir.t) strategy =
+  let pts = points ir strategy in
+  let report = Gpusim.Gpu.measure arch ir pts in
+  let overhead =
+    match strategy with Naive -> naive_overhead | Optimized _ -> optimized_overhead
+  in
+  report.kernel_time_s *. overhead
+
+let gflops (arch : Gpusim.Arch.t) (ir : Tcr.Ir.t) ~reps strategy =
+  float_of_int (Tcr.Ir.flops ir) /. time arch ir ~reps strategy /. 1e9

@@ -1,0 +1,1 @@
+lib/gpusim/gpu.ml: Arch Array Codegen Hashtbl List Perf Tcr Transfer

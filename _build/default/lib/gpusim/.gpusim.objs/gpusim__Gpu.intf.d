@@ -1,0 +1,1 @@
+lib/gpusim/gpu.mli: Arch Codegen Perf Tcr Transfer

@@ -1,0 +1,1 @@
+lib/gpusim/occupancy.ml: Arch Codegen List

@@ -1,0 +1,1 @@
+lib/gpusim/perf.ml: Arch Coalesce Codegen List Occupancy

@@ -1,0 +1,1 @@
+lib/gpusim/perf.mli: Arch Coalesce Codegen Occupancy

@@ -1,0 +1,1 @@
+lib/gpusim/simtrace.ml: Arch Cache Codegen List Printf

@@ -1,0 +1,1 @@
+lib/gpusim/simtrace.mli: Arch Cache Codegen

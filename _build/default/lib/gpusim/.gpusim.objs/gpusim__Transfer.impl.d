@@ -1,0 +1,1 @@
+lib/gpusim/transfer.ml: Arch List Tcr

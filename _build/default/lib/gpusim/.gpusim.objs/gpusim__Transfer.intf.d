@@ -1,0 +1,1 @@
+lib/gpusim/transfer.mli: Arch Tcr

@@ -1,0 +1,121 @@
+(* GPU architecture descriptions for the three boards of the paper's
+   evaluation (Section VI): Tesla C2050 (Fermi), Tesla K20 (Kepler) and
+   GTX 980 (Maxwell), plus the host link they hang off.
+
+   Values are the public datasheet numbers; [issue_efficiency] is the one
+   calibration constant per architecture, absorbing the latency, divergence
+   and replay effects the first-order model does not track explicitly. *)
+
+type t = {
+  name : string;
+  codename : string;
+  sm_count : int;
+  clock_ghz : float;
+  warp_size : int;
+  dp_lanes_per_sm : int;        (* double-precision FMA units per SM *)
+  schedulers_per_sm : int;
+  issue_per_scheduler : int;    (* warp instructions per scheduler per cycle *)
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_threads_per_block : int;
+  regs_per_sm : int;            (* 32-bit registers *)
+  l1_bytes : int;               (* per SM *)
+  l1_caches_global : bool;      (* Kepler L1 does not cache global loads *)
+  l2_bytes : int;
+  mem_bw_gbs : float;
+  bw_efficiency : float;        (* achievable fraction of peak bandwidth *)
+  issue_efficiency : float;     (* achievable fraction of peak issue/flop rate *)
+  kernel_launch_us : float;
+  pcie_bw_gbs : float;
+  pcie_latency_us : float;
+}
+
+let dp_peak_gflops a =
+  2.0 *. float_of_int (a.sm_count * a.dp_lanes_per_sm) *. a.clock_ghz
+
+let issue_peak_ginst a =
+  float_of_int (a.sm_count * a.schedulers_per_sm * a.issue_per_scheduler) *. a.clock_ghz
+
+let c2050 =
+  {
+    name = "Tesla C2050";
+    codename = "Fermi";
+    sm_count = 14;
+    clock_ghz = 1.15;
+    warp_size = 32;
+    dp_lanes_per_sm = 16;
+    schedulers_per_sm = 2;
+    issue_per_scheduler = 1;
+    max_threads_per_sm = 1536;
+    max_blocks_per_sm = 8;
+    max_threads_per_block = 1024;
+    regs_per_sm = 32768;
+    l1_bytes = 48 * 1024;
+    l1_caches_global = true;
+    l2_bytes = 768 * 1024;
+    mem_bw_gbs = 144.0;
+    bw_efficiency = 0.34;
+    issue_efficiency = 0.23;
+    kernel_launch_us = 9.0;
+    pcie_bw_gbs = 5.5;
+    pcie_latency_us = 12.0;
+  }
+
+let k20 =
+  {
+    name = "Tesla K20";
+    codename = "Kepler";
+    sm_count = 13;
+    clock_ghz = 0.706;
+    warp_size = 32;
+    dp_lanes_per_sm = 64;
+    schedulers_per_sm = 4;
+    issue_per_scheduler = 2;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 16;
+    max_threads_per_block = 1024;
+    regs_per_sm = 65536;
+    l1_bytes = 48 * 1024;
+    l1_caches_global = false;
+    l2_bytes = 1280 * 1024;
+    mem_bw_gbs = 208.0;
+    bw_efficiency = 0.26;
+    issue_efficiency = 0.22;
+    kernel_launch_us = 7.0;
+    pcie_bw_gbs = 5.5;
+    pcie_latency_us = 12.0;
+  }
+
+let gtx980 =
+  {
+    name = "GTX 980";
+    codename = "Maxwell";
+    sm_count = 16;
+    clock_ghz = 1.126;
+    warp_size = 32;
+    dp_lanes_per_sm = 4;  (* Maxwell's 1/32 DP rate *)
+    schedulers_per_sm = 4;
+    issue_per_scheduler = 2;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_threads_per_block = 1024;
+    regs_per_sm = 65536;
+    l1_bytes = 48 * 1024;
+    l1_caches_global = true;  (* unified L1/texture path caches reads *)
+    l2_bytes = 2 * 1024 * 1024;
+    mem_bw_gbs = 224.0;
+    bw_efficiency = 0.60;
+    issue_efficiency = 0.30;
+    kernel_launch_us = 5.0;
+    pcie_bw_gbs = 11.0;
+    pcie_latency_us = 8.0;
+  }
+
+let all = [ gtx980; k20; c2050 ]
+
+let by_name name =
+  List.find_opt
+    (fun a ->
+      String.lowercase_ascii a.name = String.lowercase_ascii name
+      || String.lowercase_ascii a.codename = String.lowercase_ascii name)
+    all

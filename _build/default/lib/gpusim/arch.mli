@@ -1,0 +1,45 @@
+(** GPU architecture descriptions for the three boards of the paper's
+    evaluation (Section VI): Tesla C2050 (Fermi), Tesla K20 (Kepler) and
+    GTX 980 (Maxwell). Values are public datasheet numbers;
+    [issue_efficiency] and [bw_efficiency] are the two calibration
+    constants per architecture, fitted once against Table II's Lg3 row (see
+    EXPERIMENTS.md) and absorbing latency/divergence/replay effects the
+    first-order model does not track. *)
+
+type t = {
+  name : string;
+  codename : string;
+  sm_count : int;
+  clock_ghz : float;
+  warp_size : int;
+  dp_lanes_per_sm : int;  (** double-precision FMA units per SM *)
+  schedulers_per_sm : int;
+  issue_per_scheduler : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_threads_per_block : int;
+  regs_per_sm : int;
+  l1_bytes : int;  (** per SM; also the read-only/texture path capacity *)
+  l1_caches_global : bool;  (** Kepler's L1 does not cache global loads *)
+  l2_bytes : int;
+  mem_bw_gbs : float;
+  bw_efficiency : float;  (** achievable fraction of peak bandwidth *)
+  issue_efficiency : float;  (** achievable fraction of peak issue/flops *)
+  kernel_launch_us : float;
+  pcie_bw_gbs : float;
+  pcie_latency_us : float;
+}
+
+(** 2 x lanes x SMs x clock. *)
+val dp_peak_gflops : t -> float
+
+(** Warp instructions per second at peak issue. *)
+val issue_peak_ginst : t -> float
+
+val c2050 : t
+val k20 : t
+val gtx980 : t
+val all : t list
+
+(** Case-insensitive lookup by name or codename. *)
+val by_name : string -> t option

@@ -1,0 +1,55 @@
+(* Set-associative LRU cache simulator.
+
+   The roofline model classifies references analytically (footprints vs.
+   capacities); this simulator provides the ground truth it is checked
+   against: feed it the actual address stream of one thread block and
+   compare hit rates with the analytic memory class. It also backs the
+   [Simtrace] cross-check used by the test-suite. *)
+
+type t = {
+  line_bytes : int;
+  num_sets : int;
+  ways : int;
+  (* tags.(set) is a list of line tags, most recently used first *)
+  tags : int list array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~bytes ~line_bytes ~ways =
+  if bytes <= 0 || line_bytes <= 0 || ways <= 0 then
+    invalid_arg "Cache.create: non-positive geometry";
+  let lines = max 1 (bytes / line_bytes) in
+  let num_sets = max 1 (lines / ways) in
+  { line_bytes; num_sets; ways; tags = Array.make num_sets []; hits = 0; misses = 0 }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) [];
+  t.hits <- 0;
+  t.misses <- 0
+
+(* [access t addr] returns [true] on hit and updates LRU state. *)
+let access t addr =
+  let line = addr / t.line_bytes in
+  let set = line mod t.num_sets in
+  let tag = line / t.num_sets in
+  let entry = t.tags.(set) in
+  if List.mem tag entry then begin
+    t.hits <- t.hits + 1;
+    t.tags.(set) <- tag :: List.filter (fun x -> x <> tag) entry;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let kept = List.filteri (fun i _ -> i < t.ways - 1) entry in
+    t.tags.(set) <- tag :: kept;
+    false
+  end
+
+let accesses t = t.hits + t.misses
+
+let hit_rate t =
+  let n = accesses t in
+  if n = 0 then 0.0 else float_of_int t.hits /. float_of_int n
+
+let miss_bytes t = t.misses * t.line_bytes

@@ -1,0 +1,20 @@
+(** Set-associative LRU cache simulator: the ground truth the analytic
+    footprint classification of {!Perf} is cross-checked against. *)
+
+type t
+
+(** [create ~bytes ~line_bytes ~ways]. Raises on non-positive geometry. *)
+val create : bytes:int -> line_bytes:int -> ways:int -> t
+
+val reset : t -> unit
+
+(** [access t addr] returns [true] on hit and updates LRU state. *)
+val access : t -> int -> bool
+
+val accesses : t -> int
+
+(** Hits over accesses; 0 before any access. *)
+val hit_rate : t -> float
+
+(** Bytes fetched from the next level. *)
+val miss_bytes : t -> int

@@ -1,0 +1,58 @@
+(* Performance model of a vendor DGEMM library (cuBLAS-class).
+
+   The paper's motivation: "mapping the problem to use highly-tuned linear
+   algebra libraries will not achieve high performance as these libraries
+   are optimized for large matrices". This model captures why: a library
+   GEMM reaches a high fraction of peak only when the M x N tile grid
+   fills the SMs and K amortizes the tile setup; small-tensor contractions
+   leave most of the chip idle. *)
+
+(* Library kernels tile the output; each SM wants several tiles in flight. *)
+let tile_m = 64
+let tile_n = 64
+
+(* Fraction of DP peak a well-fed library GEMM sustains. *)
+let library_efficiency = 0.85
+
+(* K iterations needed to amortize a tile's prologue/epilogue. *)
+let k_half = 32.0
+
+type analysis = {
+  m : int;
+  n : int;
+  k : int;
+  batch : int;
+  flops : int;
+  time_s : float;
+  utilization : float;  (* tile grid vs chip *)
+  k_efficiency : float;
+}
+
+let analyze (arch : Arch.t) ~m ~n ~k ~batch =
+  if m <= 0 || n <= 0 || k <= 0 || batch <= 0 then
+    invalid_arg "Gemm.analyze: non-positive dimension";
+  let flops = 2 * m * n * k * batch in
+  let tiles = ((m + tile_m - 1) / tile_m) * ((n + tile_n - 1) / tile_n) * batch in
+  (* several concurrent tiles per SM hide latency *)
+  let slots = arch.sm_count * 2 in
+  let waves = (tiles + slots - 1) / slots in
+  let utilization = float_of_int tiles /. float_of_int (waves * slots) in
+  let k_efficiency = float_of_int k /. (float_of_int k +. k_half) in
+  let t_compute =
+    float_of_int flops
+    /. (Arch.dp_peak_gflops arch *. 1e9 *. library_efficiency *. utilization
+        *. k_efficiency)
+  in
+  (* streaming floor: every operand moves at least once *)
+  let bytes = 8 * batch * ((m * k) + (k * n) + (2 * m * n)) in
+  let t_mem = float_of_int bytes /. (arch.mem_bw_gbs *. 1e9 *. arch.bw_efficiency) in
+  let time_s = (arch.kernel_launch_us *. 1e-6) +. max t_compute t_mem in
+  { m; n; k; batch; flops; time_s; utilization; k_efficiency }
+
+let gflops a = float_of_int a.flops /. a.time_s /. 1e9
+
+(* An out-of-place tensor transpose done by a library copy kernel: two
+   passes over the data at a transpose-typical fraction of bandwidth. *)
+let transpose_time (arch : Arch.t) ~bytes =
+  (arch.kernel_launch_us *. 1e-6)
+  +. (2.0 *. float_of_int bytes /. (arch.mem_bw_gbs *. 1e9 *. arch.bw_efficiency *. 0.7))

@@ -1,0 +1,16 @@
+(** Occupancy calculator: blocks and warps an SM sustains given block size
+    and register demand, following the CUDA occupancy rules. *)
+
+type t = {
+  blocks_per_sm : int;
+  warps_per_sm : int;
+  occupancy : float;  (** active warps / max warps *)
+  regs_per_thread : int;
+  limited_by : string;  (** "threads", "blocks" or "registers" *)
+}
+
+(** Register demand of the generated thread program: a base set plus
+    address/value registers per factor plus live values from unrolling. *)
+val regs_per_thread : Codegen.Kernel.t -> int
+
+val analyze : Arch.t -> Codegen.Kernel.t -> t

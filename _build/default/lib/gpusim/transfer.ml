@@ -1,0 +1,28 @@
+(* PCIe transfer model: inputs host-to-device once, outputs device-to-host
+   once. Data stays device-resident between the kernels of a computation
+   (and across repetitions, as in the paper's measurement loop). *)
+
+type t = {
+  h2d_bytes : int;
+  d2h_bytes : int;
+  time_s : float;
+}
+
+let time_of_bytes (arch : Arch.t) bytes =
+  (arch.pcie_latency_us *. 1e-6)
+  +. (float_of_int bytes /. (arch.pcie_bw_gbs *. 1e9))
+
+let analyze (arch : Arch.t) (ir : Tcr.Ir.t) =
+  let bytes role =
+    List.fold_left
+      (fun acc (v : Tcr.Ir.var) ->
+        if v.role = role then acc + Tcr.Ir.var_bytes ir v.name else acc)
+      0 ir.vars
+  in
+  let h2d_bytes = bytes Tcr.Ir.Input in
+  let d2h_bytes = bytes Tcr.Ir.Output in
+  {
+    h2d_bytes;
+    d2h_bytes;
+    time_s = time_of_bytes arch h2d_bytes +. time_of_bytes arch d2h_bytes;
+  }

@@ -1,0 +1,15 @@
+(** PCIe transfer model: inputs host-to-device once, outputs
+    device-to-host once; data stays device-resident between the kernels of
+    a computation and across the repetitions of the measurement loop, as in
+    the paper. *)
+
+type t = {
+  h2d_bytes : int;
+  d2h_bytes : int;
+  time_s : float;
+}
+
+(** Latency plus size over link bandwidth, one direction. *)
+val time_of_bytes : Arch.t -> int -> float
+
+val analyze : Arch.t -> Tcr.Ir.t -> t

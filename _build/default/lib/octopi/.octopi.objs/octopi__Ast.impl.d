@@ -1,0 +1,1 @@
+lib/octopi/ast.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/octopi/ast.mli: Format

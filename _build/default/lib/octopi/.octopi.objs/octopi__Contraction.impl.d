@@ -1,0 +1,1 @@
+lib/octopi/contraction.ml: Ast List Printf Tensor Util

@@ -1,0 +1,1 @@
+lib/octopi/contraction.mli: Ast Tensor Util

@@ -1,0 +1,1 @@
+lib/octopi/einsum_notation.ml: Ast Contraction List Printf String Tensor

@@ -1,0 +1,1 @@
+lib/octopi/einsum_notation.mli: Ast Tensor

@@ -1,0 +1,1 @@
+lib/octopi/fusion.ml: Hashtbl List Plan

@@ -1,0 +1,1 @@
+lib/octopi/fusion.mli: Plan

@@ -1,0 +1,1 @@
+lib/octopi/parse.ml: Ast List Printf String

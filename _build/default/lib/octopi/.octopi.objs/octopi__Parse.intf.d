@@ -1,0 +1,1 @@
+lib/octopi/parse.mli: Ast

@@ -1,0 +1,1 @@
+lib/octopi/plan.ml: Array Ast Contraction Hashtbl List Printf String Tensor

@@ -1,0 +1,1 @@
+lib/octopi/plan.mli: Contraction Tensor

@@ -1,0 +1,1 @@
+lib/octopi/variants.ml: Contraction Fusion List Parse Plan Tensor

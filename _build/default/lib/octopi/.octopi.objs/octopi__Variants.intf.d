@@ -1,0 +1,1 @@
+lib/octopi/variants.mli: Contraction Fusion Plan

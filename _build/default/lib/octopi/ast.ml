@@ -1,0 +1,48 @@
+(* Surface abstract syntax of the OCTOPI input language.
+
+   The concrete syntax follows the paper's Figure 2(a):
+
+     dims: i=10 j=10 k=10 l=10 m=10 n=10
+     V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+
+   A program is a list of summation statements plus optional extent
+   declarations. Indices are single identifiers; tensors are identifiers
+   applied to a bracketed index list. *)
+
+type tensor_ref = { name : string; indices : string list }
+
+type stmt = {
+  lhs : tensor_ref;
+  sum_indices : string list;  (* explicit Sum([...], ...) indices *)
+  factors : tensor_ref list;  (* multiplied right-hand-side terms *)
+  accumulate : bool;          (* [+=] rather than [=] *)
+}
+
+type program = {
+  extents : (string * int) list;  (* declared index extents *)
+  stmts : stmt list;
+}
+
+let pp_tensor_ref fmt { name; indices } =
+  Format.fprintf fmt "%s[%s]" name (String.concat " " indices)
+
+let pp_stmt fmt { lhs; sum_indices; factors; accumulate } =
+  let rhs =
+    String.concat " * "
+      (List.map (fun r -> Format.asprintf "%a" pp_tensor_ref r) factors)
+  in
+  let op = if accumulate then "+=" else "=" in
+  match sum_indices with
+  | [] -> Format.fprintf fmt "%a %s %s" pp_tensor_ref lhs op rhs
+  | _ ->
+    Format.fprintf fmt "%a %s Sum([%s], %s)" pp_tensor_ref lhs op
+      (String.concat " " sum_indices)
+      rhs
+
+let pp_program fmt { extents; stmts } =
+  if extents <> [] then
+    Format.fprintf fmt "dims: %s@\n"
+      (String.concat " " (List.map (fun (i, e) -> Printf.sprintf "%s=%d" i e) extents));
+  List.iter (fun s -> Format.fprintf fmt "%a@\n" pp_stmt s) stmts
+
+let to_string p = Format.asprintf "%a" pp_program p

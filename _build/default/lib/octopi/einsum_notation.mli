@@ -1,0 +1,24 @@
+(** NumPy-style einsum notation front end ("lk,mj,ni,lmn->ijk", one
+    lowercase letter per axis): a convenience layer over the Figure 2(a)
+    DSL. *)
+
+exception Error of string
+
+val default_factor_names : string list
+
+(** [parse ?output ?names ?extents spec]: factor tensors take [names]
+    (default A, B, C, ...), the output is [output] (default "O"), [extents]
+    assigns index sizes (others default). Raises {!Error} on malformed
+    specs (missing "->", non-letter indices, too many factors). *)
+val parse :
+  ?output:string -> ?names:string list -> ?extents:(string * int) list -> string ->
+  Ast.program
+
+(** The equivalent Figure 2(a) DSL text. *)
+val to_dsl :
+  ?output:string -> ?names:string list -> ?extents:(string * int) list -> string -> string
+
+(** Evaluate with the reference oracle; tensors are positional and their
+    shapes fix the extents. *)
+val contract :
+  ?output:string -> ?names:string list -> string -> Tensor.Dense.t list -> Tensor.Dense.t

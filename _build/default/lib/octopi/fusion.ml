@@ -1,0 +1,92 @@
+(* Loop-fusion analysis over a lowered op sequence.
+
+   The paper reorders each op's loops so that indices shared with the
+   neighbouring ops become outermost, enabling the producer/consumer fusion
+   of Section III. Legality: a fused loop index must be a *free* (output)
+   index of the producer - its value must be complete when the consumer
+   reads it - while for the consumer it may be either free or a reduction
+   index (accumulation across the fused loop is associative).
+
+   The analysis yields, per op, a loop order with the fused prefix first,
+   plus the pairwise fusion depths; the performance models use the depths to
+   discount traffic on fused temporaries, and the sequential C emitter uses
+   the loop orders. *)
+
+type schedule = {
+  ops : Plan.op list;
+  loop_orders : string list list;  (* per op, all iteration indices in order *)
+  fusion_depths : int list;        (* length = #ops - 1 *)
+}
+
+(* Iteration indices in natural order: output indices as declared, then
+   reduction indices in order of first appearance in the factors. *)
+let iteration_indices (op : Plan.op) =
+  let seen = Hashtbl.create 8 in
+  let keep i =
+    if Hashtbl.mem seen i then false
+    else begin
+      Hashtbl.add seen i ();
+      true
+    end
+  in
+  List.filter keep (op.out_indices @ List.concat_map snd op.factors)
+
+(* Indices over which [producer] and a following op that reads its output
+   may share loops. *)
+let fusable_pair (producer : Plan.op) (consumer : Plan.op) =
+  if List.exists (fun (name, _) -> name = producer.out) consumer.factors then
+    List.filter
+      (fun i -> List.mem i (iteration_indices consumer))
+      producer.out_indices
+  else []
+
+(* The common outer loops of a maximal run of ops starting at position 0 is
+   the intersection of consecutive fusable sets; we compute pairwise depths
+   and derive loop orders that put the shared indices first. *)
+let analyze (ops : Plan.op list) =
+  let rec pair_sets = function
+    | a :: (b :: _ as rest) -> fusable_pair a b :: pair_sets rest
+    | _ -> []
+  in
+  let shared = pair_sets ops in
+  let order_for pos op =
+    let before = if pos = 0 then [] else List.nth shared (pos - 1) in
+    let after = if pos < List.length shared then List.nth shared pos else [] in
+    let prefix =
+      (* prefer indices fused with both neighbours, then predecessor, then successor *)
+      let both = List.filter (fun i -> List.mem i after) before in
+      let b_only = List.filter (fun i -> not (List.mem i after)) before in
+      let a_only = List.filter (fun i -> not (List.mem i before)) after in
+      both @ b_only @ a_only
+    in
+    let all = iteration_indices op in
+    let free_rest =
+      List.filter (fun i -> List.mem i op.out_indices && not (List.mem i prefix)) all
+    in
+    let red_rest =
+      List.filter
+        (fun i -> (not (List.mem i op.out_indices)) && not (List.mem i prefix))
+        all
+    in
+    prefix @ free_rest @ red_rest
+  in
+  let loop_orders = List.mapi order_for ops in
+  let fusion_depths =
+    List.mapi
+      (fun pos fused ->
+        (* depth actually realized: longest common prefix of the two orders
+           restricted to the fused set *)
+        let o1 = List.nth loop_orders pos and o2 = List.nth loop_orders (pos + 1) in
+        let rec common a b =
+          match (a, b) with
+          | x :: xs, y :: ys when x = y && List.mem x fused -> 1 + common xs ys
+          | _ -> 0
+        in
+        common o1 o2)
+      shared
+  in
+  { ops; loop_orders; fusion_depths }
+
+(* Total fusion score of a schedule: sum of pairwise depths, used to rank
+   OCTOPI variants by fusion opportunity. *)
+let score schedule = List.fold_left ( + ) 0 schedule.fusion_depths

@@ -1,0 +1,26 @@
+(** Loop-fusion analysis over a lowered statement sequence (Section III):
+    loop orders are chosen so that indices shared between producer and
+    consumer become outermost. Legality: a fused index must be a free
+    (output) index of the producer; for the consumer it may also be a
+    reduction index (accumulation across the fused loop is associative). *)
+
+type schedule = {
+  ops : Plan.op list;
+  loop_orders : string list list;
+      (** per op: all iteration indices, outermost first, fused prefix
+          first *)
+  fusion_depths : int list;  (** realized depth per adjacent pair *)
+}
+
+(** Iteration indices of an op in natural order: output indices as
+    declared, then reduction indices by first appearance. *)
+val iteration_indices : Plan.op -> string list
+
+(** Indices over which [producer] and a following consumer of its output
+    may share loops; empty when there is no dataflow. *)
+val fusable_pair : Plan.op -> Plan.op -> string list
+
+val analyze : Plan.op list -> schedule
+
+(** Sum of pairwise fusion depths; ranks variants by fusion opportunity. *)
+val score : schedule -> int

@@ -1,0 +1,51 @@
+(* Top of the OCTOPI stage: from DSL text to the set of strength-reduced
+   variants that are handed to TCR, one per contraction tree. *)
+
+type variant = {
+  id : int;
+  plan : Plan.plan;
+  ops : Plan.op list;
+  schedule : Fusion.schedule;
+  flops : int;
+}
+
+type t = {
+  contraction : Contraction.t;
+  variants : variant list;
+}
+
+let of_contraction contraction =
+  let plans = Plan.enumerate contraction in
+  let variants =
+    List.mapi
+      (fun id plan ->
+        let ops = Plan.lower plan in
+        { id; plan; ops; schedule = Fusion.analyze ops; flops = Plan.flops plan })
+      plans
+  in
+  { contraction; variants }
+
+(* Parse a DSL program and produce variants per statement. Most benchmarks
+   are single-statement; multi-statement programs (e.g. local_grad3's three
+   outputs) return one variant set per statement. *)
+let of_string src =
+  let program = Parse.program src in
+  List.map (fun c -> of_contraction c) (Contraction.of_program program)
+
+let min_flops t =
+  match t.variants with
+  | [] -> 0
+  | v :: rest -> List.fold_left (fun acc w -> min acc w.flops) v.flops rest
+
+let minimal_flop_variants t =
+  let m = min_flops t in
+  List.filter (fun v -> v.flops = m) t.variants
+
+(* Every variant must compute the same tensor as the direct evaluation; this
+   is the workhorse assertion of the OCTOPI test-suite. *)
+let validate ?(tol = 1e-9) t =
+  let env = Contraction.random_env t.contraction in
+  let reference = Contraction.evaluate t.contraction env in
+  List.for_all
+    (fun v -> Tensor.Dense.approx_equal ~tol reference (Plan.evaluate v.plan env))
+    t.variants

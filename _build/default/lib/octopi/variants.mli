@@ -1,0 +1,27 @@
+(** Top of the OCTOPI stage: from DSL text to the set of strength-reduced
+    variants handed to TCR, one per contraction tree. *)
+
+type variant = {
+  id : int;  (** position in enumeration order *)
+  plan : Plan.plan;
+  ops : Plan.op list;  (** [Plan.lower plan] *)
+  schedule : Fusion.schedule;
+  flops : int;
+}
+
+type t = {
+  contraction : Contraction.t;
+  variants : variant list;
+}
+
+val of_contraction : Contraction.t -> t
+
+(** Parse a DSL program; one variant set per statement. *)
+val of_string : string -> t list
+
+val min_flops : t -> int
+val minimal_flop_variants : t -> variant list
+
+(** Check that every variant computes the same tensor as direct evaluation
+    on a random environment - the workhorse assertion of the test-suite. *)
+val validate : ?tol:float -> t -> bool

@@ -1,0 +1,1 @@
+lib/surf/feature.ml: Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/surf/forest.ml: Array Tree Util

@@ -1,0 +1,1 @@
+lib/surf/forest.mli: Tree Util

@@ -1,0 +1,1 @@
+lib/surf/search.ml: Array Forest List Util

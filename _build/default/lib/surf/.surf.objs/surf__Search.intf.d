@@ -1,0 +1,1 @@
+lib/surf/search.mli: Forest Util

@@ -1,0 +1,1 @@
+lib/surf/tree.ml: Array List Util

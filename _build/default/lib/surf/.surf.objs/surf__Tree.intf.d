@@ -1,0 +1,1 @@
+lib/surf/tree.mli: Util

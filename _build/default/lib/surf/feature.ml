@@ -1,0 +1,72 @@
+(* Feature binarization (Section V): the decomposition parameters have no
+   ordinal structure, so categorical features are one-hot encoded before
+   surrogate modeling; numeric features (unroll factors) pass through. *)
+
+type value = Cat of string | Num of float
+
+type features = (string * value) list
+
+type column = Onehot of string * string | Numeric of string
+
+type schema = { columns : column array }
+
+(* Build the encoding schema from a sample of feature vectors: one numeric
+   column per numeric feature, one 0/1 column per observed category. *)
+let make_schema (samples : features list) =
+  let categories : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let numerics : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let remember name = if not (List.mem name !order) then order := !order @ [ name ] in
+  List.iter
+    (fun sample ->
+      List.iter
+        (fun (name, v) ->
+          remember name;
+          match v with
+          | Num _ -> Hashtbl.replace numerics name ()
+          | Cat c ->
+            let tbl =
+              match Hashtbl.find_opt categories name with
+              | Some t -> t
+              | None ->
+                let t = Hashtbl.create 8 in
+                Hashtbl.add categories name t;
+                t
+            in
+            Hashtbl.replace tbl c ())
+        sample)
+    samples;
+  let columns =
+    List.concat_map
+      (fun name ->
+        if Hashtbl.mem numerics name then [ Numeric name ]
+        else
+          match Hashtbl.find_opt categories name with
+          | None -> []
+          | Some tbl ->
+            Hashtbl.fold (fun c () acc -> c :: acc) tbl []
+            |> List.sort compare
+            |> List.map (fun c -> Onehot (name, c)))
+      !order
+  in
+  { columns = Array.of_list columns }
+
+let dimension schema = Array.length schema.columns
+
+let encode schema (sample : features) =
+  Array.map
+    (fun column ->
+      match column with
+      | Numeric name -> (
+        match List.assoc_opt name sample with
+        | Some (Num x) -> x
+        | Some (Cat _) | None -> 0.0)
+      | Onehot (name, cat) -> (
+        match List.assoc_opt name sample with
+        | Some (Cat c) when c = cat -> 1.0
+        | _ -> 0.0))
+    schema.columns
+
+let column_name = function
+  | Numeric name -> name
+  | Onehot (name, cat) -> Printf.sprintf "%s=%s" name cat

@@ -1,0 +1,24 @@
+(** Feature binarization (Section V): decomposition parameters have no
+    ordinal structure, so categorical features are one-hot encoded before
+    surrogate modeling; numeric features (unroll factors) pass through. *)
+
+type value = Cat of string | Num of float
+type features = (string * value) list
+
+type column = Onehot of string * string | Numeric of string
+
+type schema = { columns : column array }
+
+(** Build the encoding schema from a sample of feature vectors: one numeric
+    column per numeric feature, one 0/1 column per observed category,
+    grouped by first appearance of the feature name. *)
+val make_schema : features list -> schema
+
+val dimension : schema -> int
+
+(** Encode a sample; unknown categories light no column, missing numerics
+    encode as 0. *)
+val encode : schema -> features -> float array
+
+(** ["tx=i"] for one-hot columns, the plain name for numeric ones. *)
+val column_name : column -> string

@@ -1,0 +1,30 @@
+(* Random-forest surrogate: an ensemble of extremely randomized trees, the
+   "randomized trees" model of Section V. Prediction is the ensemble mean;
+   the ensemble spread provides a crude uncertainty used by tests. *)
+
+type t = { trees : Tree.t array }
+
+type params = {
+  n_trees : int;
+  tree_params : Tree.params option;
+}
+
+let default_params = { n_trees = 24; tree_params = None }
+
+let fit ?(params = default_params) rng (x : float array array) (y : float array) =
+  if Array.length x <> Array.length y then invalid_arg "Forest.fit: length mismatch";
+  let trees =
+    Array.init params.n_trees (fun _ ->
+        Tree.fit ?params:params.tree_params (Util.Rng.split rng) x y)
+  in
+  { trees }
+
+let predict t features =
+  let s = Array.fold_left (fun acc tree -> acc +. Tree.predict tree features) 0.0 t.trees in
+  s /. float_of_int (Array.length t.trees)
+
+let predict_std t features =
+  let n = Array.length t.trees in
+  let preds = Array.map (fun tree -> Tree.predict tree features) t.trees in
+  let m = Array.fold_left ( +. ) 0.0 preds /. float_of_int n in
+  sqrt (Array.fold_left (fun acc p -> acc +. ((p -. m) ** 2.0)) 0.0 preds /. float_of_int n)

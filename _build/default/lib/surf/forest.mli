@@ -1,0 +1,19 @@
+(** Random-forest surrogate: an ensemble of extremely randomized trees (the
+    "randomized trees" model of Section V). Prediction is the ensemble
+    mean. *)
+
+type t = { trees : Tree.t array }
+
+type params = {
+  n_trees : int;
+  tree_params : Tree.params option;
+}
+
+(** 24 trees with default tree parameters. *)
+val default_params : params
+
+val fit : ?params:params -> Util.Rng.t -> float array array -> float array -> t
+val predict : t -> float array -> float
+
+(** Ensemble standard deviation: a crude uncertainty proxy. *)
+val predict_std : t -> float array -> float

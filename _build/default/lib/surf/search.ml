@@ -1,0 +1,107 @@
+(* SURF - search using random forest (Algorithm 2) - plus the baseline
+   strategies it is compared against.
+
+   The search minimizes an objective (simulated execution time) over a
+   finite configuration pool:
+   1. sample and evaluate an initial batch,
+   2. fit the forest surrogate on (features, objective) pairs,
+   3. repeatedly evaluate the [batch_size] unevaluated configurations the
+      model predicts best, refit, until [max_evals]. *)
+
+type 'a evaluation = { config : 'a; objective : float }
+
+type 'a result = {
+  best : 'a evaluation;
+  history : 'a evaluation list;  (* in evaluation order *)
+  evaluations : int;
+  pool_size : int;
+}
+
+type config = {
+  batch_size : int;
+  max_evals : int;
+  forest : Forest.params;
+}
+
+let default_config = { batch_size = 10; max_evals = 100; forest = Forest.default_params }
+
+let best_of history =
+  match history with
+  | [] -> invalid_arg "Search: no evaluations"
+  | e :: rest ->
+    List.fold_left (fun acc e -> if e.objective < acc.objective then e else acc) e rest
+
+let make_result ~pool_size history =
+  {
+    best = best_of history;
+    history = List.rev history;
+    evaluations = List.length history;
+    pool_size;
+  }
+
+(* Exhaustive evaluation: the brute-force baseline of prior work [25]. *)
+let exhaustive ~pool ~eval =
+  let history =
+    Array.to_list pool |> List.rev_map (fun c -> { config = c; objective = eval c })
+  in
+  make_result ~pool_size:(Array.length pool) history
+
+(* Uniform random search without replacement. *)
+let random_search rng ~pool ~eval ~max_evals =
+  let n = min max_evals (Array.length pool) in
+  let chosen = Util.Rng.sample_without_replacement rng n pool in
+  let history =
+    Array.to_list chosen |> List.rev_map (fun c -> { config = c; objective = eval c })
+  in
+  make_result ~pool_size:(Array.length pool) history
+
+(* SURF, Algorithm 2. [encode] maps a configuration to its binarized
+   feature vector (built once per pool by the caller via [Feature]). *)
+let surf ?(config = default_config) rng ~pool ~encode ~eval =
+  let pool_size = Array.length pool in
+  if pool_size = 0 then invalid_arg "Search.surf: empty pool";
+  let nmax = min config.max_evals pool_size in
+  let bs = max 1 (min config.batch_size nmax) in
+  (* line 1-2: initial random batch *)
+  let remaining = ref (Array.to_list pool) in
+  let history = ref [] in
+  let evaluate configs =
+    List.iter
+      (fun c -> history := { config = c; objective = eval c } :: !history)
+      configs;
+    remaining := List.filter (fun c -> not (List.memq c configs)) !remaining
+  in
+  let initial =
+    Array.to_list (Util.Rng.sample_without_replacement rng bs (Array.of_list !remaining))
+  in
+  evaluate initial;
+  (* lines 5-12: iterative model-guided batches *)
+  let continue () = List.length !history < nmax && !remaining <> [] in
+  while continue () do
+    let x =
+      Array.of_list (List.rev_map (fun e -> encode e.config) !history)
+    in
+    let y = Array.of_list (List.rev_map (fun e -> e.objective) !history) in
+    let model = Forest.fit ~params:config.forest (Util.Rng.split rng) x y in
+    let scored =
+      List.map (fun c -> (Forest.predict model (encode c), c)) !remaining
+    in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
+    let budget = min bs (nmax - List.length !history) in
+    let batch =
+      List.filteri (fun i _ -> i < budget) sorted |> List.map snd
+    in
+    evaluate batch
+  done;
+  make_result ~pool_size !history
+
+(* Best objective after each evaluation; used to compare convergence of
+   search strategies. *)
+let convergence_curve result =
+  let rec go best acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      let best = min best e.objective in
+      go best (best :: acc) rest
+  in
+  go infinity [] result.history

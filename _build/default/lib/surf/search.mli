@@ -1,0 +1,45 @@
+(** SURF - search using random forest (paper Algorithm 2) - and the
+    baseline strategies it is compared against. The search minimizes an
+    objective (simulated execution time) over a finite configuration pool:
+    evaluate an initial random batch, fit the forest surrogate, then
+    repeatedly evaluate the unevaluated configurations the model predicts
+    best and refit, until the evaluation budget is exhausted. *)
+
+type 'a evaluation = { config : 'a; objective : float }
+
+type 'a result = {
+  best : 'a evaluation;
+  history : 'a evaluation list;  (** in evaluation order *)
+  evaluations : int;
+  pool_size : int;
+}
+
+type config = {
+  batch_size : int;  (** concurrent evaluations per iteration *)
+  max_evals : int;  (** the n_max stopping criterion *)
+  forest : Forest.params;
+}
+
+(** Batch 10, 100 evaluations (the paper's budget), default forest. *)
+val default_config : config
+
+(** Evaluate the whole pool: the brute-force baseline of prior work. *)
+val exhaustive : pool:'a array -> eval:('a -> float) -> 'a result
+
+(** Uniform random search without replacement. *)
+val random_search :
+  Util.Rng.t -> pool:'a array -> eval:('a -> float) -> max_evals:int -> 'a result
+
+(** Algorithm 2. [encode] maps a configuration to its binarized feature
+    vector. Raises on an empty pool; never evaluates more than [max_evals]
+    configurations or the same configuration twice. *)
+val surf :
+  ?config:config ->
+  Util.Rng.t ->
+  pool:'a array ->
+  encode:('a -> float array) ->
+  eval:('a -> float) ->
+  'a result
+
+(** Best objective after each evaluation (non-increasing). *)
+val convergence_curve : 'a result -> float list

@@ -1,0 +1,114 @@
+(* Extremely randomized regression tree (Geurts, Ernst & Wehenkel 2006),
+   the base learner of SURF's surrogate model: at each node, K candidate
+   splits are drawn with uniformly random thresholds and the one with the
+   best variance reduction is kept. Randomizing thresholds instead of
+   optimizing them is what lets the ensemble handle the one-hot columns of
+   binarized decomposition parameters without overfitting. *)
+
+type node =
+  | Leaf of float
+  | Split of { feature : int; threshold : float; left : node; right : node }
+
+type t = { root : node }
+
+type params = {
+  k_candidates : int;    (* splits drawn per node; default sqrt dims *)
+  min_samples : int;     (* do not split smaller nodes *)
+  max_depth : int;
+}
+
+let default_params ~dims =
+  { k_candidates = max 1 (int_of_float (sqrt (float_of_int dims))); min_samples = 2; max_depth = 24 }
+
+let mean_of idx y =
+  let n = Array.length idx in
+  if n = 0 then 0.0
+  else begin
+    let s = ref 0.0 in
+    Array.iter (fun i -> s := !s +. y.(i)) idx;
+    !s /. float_of_int n
+  end
+
+let sse_of idx y =
+  let m = mean_of idx y in
+  let s = ref 0.0 in
+  Array.iter (fun i -> s := !s +. ((y.(i) -. m) ** 2.0)) idx;
+  !s
+
+(* Candidate split: a feature with spread in this node and a uniform
+   threshold strictly inside its range. *)
+let draw_split rng (x : float array array) idx dims =
+  let tries = 8 in
+  let rec attempt t =
+    if t = 0 then None
+    else begin
+      let f = Util.Rng.int rng dims in
+      let lo = ref infinity and hi = ref neg_infinity in
+      Array.iter
+        (fun i ->
+          lo := min !lo x.(i).(f);
+          hi := max !hi x.(i).(f))
+        idx;
+      if !hi > !lo then Some (f, Util.Rng.float_range rng !lo !hi)
+      else attempt (t - 1)
+    end
+  in
+  attempt tries
+
+let partition (x : float array array) idx feature threshold =
+  let left = Array.of_list (List.filter (fun i -> x.(i).(feature) <= threshold) (Array.to_list idx)) in
+  let right = Array.of_list (List.filter (fun i -> x.(i).(feature) > threshold) (Array.to_list idx)) in
+  (left, right)
+
+let fit ?params rng (x : float array array) (y : float array) =
+  if Array.length x = 0 then invalid_arg "Tree.fit: empty training set";
+  let dims = Array.length x.(0) in
+  let p = match params with Some p -> p | None -> default_params ~dims in
+  let rec build idx depth =
+    let n = Array.length idx in
+    if n < p.min_samples || depth >= p.max_depth || sse_of idx y <= 1e-24 then
+      Leaf (mean_of idx y)
+    else begin
+      (* K randomized candidates; keep the best variance reduction *)
+      let parent_sse = sse_of idx y in
+      let best = ref None in
+      for _ = 1 to p.k_candidates do
+        match draw_split rng x idx dims with
+        | None -> ()
+        | Some (f, thr) ->
+          let l, r = partition x idx f thr in
+          if Array.length l > 0 && Array.length r > 0 then begin
+            let gain = parent_sse -. (sse_of l y +. sse_of r y) in
+            match !best with
+            | Some (g, _, _, _, _) when g >= gain -> ()
+            | _ -> best := Some (gain, f, thr, l, r)
+          end
+      done;
+      match !best with
+      | None -> Leaf (mean_of idx y)
+      | Some (_, f, thr, l, r) ->
+        Split { feature = f; threshold = thr; left = build l (depth + 1); right = build r (depth + 1) }
+    end
+  in
+  { root = build (Array.init (Array.length x) (fun i -> i)) 0 }
+
+let rec predict_node node (features : float array) =
+  match node with
+  | Leaf v -> v
+  | Split { feature; threshold; left; right } ->
+    if features.(feature) <= threshold then predict_node left features
+    else predict_node right features
+
+let predict t features = predict_node t.root features
+
+let rec depth_node = function
+  | Leaf _ -> 0
+  | Split { left; right; _ } -> 1 + max (depth_node left) (depth_node right)
+
+let depth t = depth_node t.root
+
+let rec leaves_node = function
+  | Leaf _ -> 1
+  | Split { left; right; _ } -> leaves_node left + leaves_node right
+
+let num_leaves t = leaves_node t.root

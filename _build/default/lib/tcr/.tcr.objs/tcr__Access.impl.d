@@ -1,0 +1,1 @@
+lib/tcr/access.ml: Ir List Printf

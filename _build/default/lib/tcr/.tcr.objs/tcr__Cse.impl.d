@@ -1,0 +1,1 @@
+lib/tcr/cse.ml: Hashtbl Ir List Printf String

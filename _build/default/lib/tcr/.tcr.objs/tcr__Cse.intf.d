@@ -1,0 +1,1 @@
+lib/tcr/cse.mli: Ir

@@ -1,0 +1,1 @@
+lib/tcr/decision.ml: Access Ir List Util

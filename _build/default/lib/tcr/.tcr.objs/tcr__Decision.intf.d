@@ -1,0 +1,1 @@
+lib/tcr/decision.mli: Ir

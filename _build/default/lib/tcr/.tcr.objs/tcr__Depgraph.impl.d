@@ -1,0 +1,1 @@
+lib/tcr/depgraph.ml: Array Ir List

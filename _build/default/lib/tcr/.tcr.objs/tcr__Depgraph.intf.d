@@ -1,0 +1,1 @@
+lib/tcr/depgraph.mli: Ir

@@ -1,0 +1,1 @@
+lib/tcr/ir.ml: Format Hashtbl List Octopi Printf String Tensor

@@ -1,0 +1,1 @@
+lib/tcr/ir.mli: Format Octopi Tensor

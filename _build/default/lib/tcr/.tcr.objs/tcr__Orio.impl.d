@@ -1,0 +1,1 @@
+lib/tcr/orio.ml: Array Buffer Ir List Printf Space Str_split String

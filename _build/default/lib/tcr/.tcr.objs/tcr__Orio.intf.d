@@ -1,0 +1,1 @@
+lib/tcr/orio.mli: Space

@@ -1,0 +1,1 @@
+lib/tcr/prune.ml: Ir List Space

@@ -1,0 +1,1 @@
+lib/tcr/prune.mli: Space

@@ -1,0 +1,1 @@
+lib/tcr/read.ml: Ir List Printf Str_split String

@@ -1,0 +1,1 @@
+lib/tcr/read.mli: Ir

@@ -1,0 +1,1 @@
+lib/tcr/space.ml: Array Decision Ir List Option Printf String Util

@@ -1,0 +1,1 @@
+lib/tcr/space.mli: Decision Ir Util

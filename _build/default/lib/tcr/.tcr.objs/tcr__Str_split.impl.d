@@ -1,0 +1,1 @@
+lib/tcr/str_split.ml: String

@@ -1,0 +1,72 @@
+(* Cross-statement common-subexpression elimination, the operation-count
+   optimization of the TCE lineage the paper builds on (its Section VII
+   cites Hartono et al., "Identifying cost-effective common subexpressions
+   to reduce operation count in tensor contraction evaluations").
+
+   Two statements of a merged program compute the same subexpression when
+   they produce temporaries from identical factor lists (same tensors,
+   same index layout) into outputs with the same index layout. The second
+   computation is eliminated and its consumers are redirected to the first
+   temporary. Matching is by literal index names (renaming-equivalence is
+   out of scope, as in the simple mode of the cited work). *)
+
+type stats = {
+  eliminated_ops : int;
+  saved_flops : int;
+}
+
+(* Structural key of an op, ignoring the output's name. *)
+let op_key (op : Ir.op) =
+  let factor (name, dims) = Printf.sprintf "%s:(%s)" name (String.concat "," dims) in
+  Printf.sprintf "(%s)<=%s"
+    (String.concat "," op.out_indices)
+    (String.concat "*" (List.map factor op.factors))
+
+let is_temp (ir : Ir.t) name =
+  match List.find_opt (fun (v : Ir.var) -> v.name = name) ir.vars with
+  | Some v -> v.role = Ir.Temp
+  | None -> false
+
+(* How many ops write into [name]: accumulating temporaries (several
+   statements summing into one tensor) must not be deduplicated. *)
+let writer_count (ir : Ir.t) name =
+  List.length (List.filter (fun (op : Ir.op) -> op.out = name) ir.ops)
+
+let optimize (ir : Ir.t) =
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let renames : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let canonical name =
+    match Hashtbl.find_opt renames name with Some n -> n | None -> name
+  in
+  let kept = ref [] in
+  let eliminated = ref 0 in
+  let saved = ref 0 in
+  List.iter
+    (fun (op : Ir.op) ->
+      let op =
+        { op with Ir.factors = List.map (fun (n, d) -> (canonical n, d)) op.factors }
+      in
+      let dedupable = is_temp ir op.out && writer_count ir op.out = 1 in
+      let key = op_key op in
+      match (dedupable, Hashtbl.find_opt seen key) with
+      | true, Some original ->
+        Hashtbl.add renames op.out original;
+        incr eliminated;
+        saved := !saved + Ir.op_flops ir op
+      | true, None ->
+        Hashtbl.add seen key op.out;
+        kept := op :: !kept
+      | false, _ -> kept := op :: !kept)
+    ir.ops;
+  let ops = List.rev !kept in
+  let live_temps =
+    List.sort_uniq compare (List.map (fun (op : Ir.op) -> op.out) ops)
+  in
+  let vars =
+    List.filter
+      (fun (v : Ir.var) -> v.role <> Ir.Temp || List.mem v.name live_temps)
+      ir.vars
+  in
+  let optimized = { ir with Ir.ops; vars } in
+  Ir.validate optimized;
+  (optimized, { eliminated_ops = !eliminated; saved_flops = !saved })

@@ -1,0 +1,17 @@
+(** Cross-statement common-subexpression elimination: the operation-count
+    optimization of the TCE lineage (Hartono et al., cited in the paper's
+    Section VII). Temporaries produced by structurally identical statements
+    (same factors, same index layouts, single writer) are computed once and
+    shared; accumulating temporaries and program outputs are left alone.
+    Matching is by literal index names. *)
+
+type stats = {
+  eliminated_ops : int;
+  saved_flops : int;
+}
+
+(** Structural key of a statement, ignoring the output's name. *)
+val op_key : Ir.op -> string
+
+(** Returns the optimized program (validated) and what was saved. *)
+val optimize : Ir.t -> Ir.t * stats

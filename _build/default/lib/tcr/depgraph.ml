@@ -1,0 +1,76 @@
+(* Inter-statement dependence graph.
+
+   Within one statement, the simplified dependence analysis of Section IV
+   says reduction loops carry dependences and output loops are parallel.
+   Across statements, a dependence exists when one statement reads another's
+   output (flow), writes a tensor another reads (anti), or writes the same
+   tensor (output dependence - accumulation order is associative but we keep
+   the order for determinism).
+
+   The graph yields the legal kernel order (the program order is validated
+   against it) and the *waves* of mutually independent statements, which a
+   streams-capable device could launch concurrently - the "surrounding
+   computations" direction of Section VIII. *)
+
+type t = {
+  ir : Ir.t;
+  (* edges.(i) lists the indices of ops that must precede op i *)
+  preds : int list array;
+}
+
+let reads (op : Ir.op) = List.map fst op.factors
+
+let build (ir : Ir.t) =
+  let ops = Array.of_list ir.ops in
+  let n = Array.length ops in
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      let flow = List.mem ops.(j).out (reads ops.(i)) in
+      let anti = List.mem ops.(i).out (reads ops.(j)) in
+      let output = ops.(i).out = ops.(j).out in
+      if flow || anti || output then preds.(i) <- j :: preds.(i)
+    done
+  done;
+  { ir; preds }
+
+let num_ops t = Array.length t.preds
+
+(* Depth of each op in the DAG: 0 for sources. *)
+let levels t =
+  let n = num_ops t in
+  let level = Array.make n (-1) in
+  let rec depth i =
+    if level.(i) >= 0 then level.(i)
+    else begin
+      let d =
+        List.fold_left (fun acc j -> max acc (1 + depth j)) 0 t.preds.(i)
+      in
+      level.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (depth i)
+  done;
+  level
+
+(* Waves of statements with equal DAG depth, in program order: statements
+   in one wave have no path between them, so a streams-capable device could
+   launch them concurrently. *)
+let waves t =
+  let level = levels t in
+  let max_level = Array.fold_left max 0 level in
+  List.init (max_level + 1) (fun w ->
+      List.concat (List.mapi (fun i op -> if level.(i) = w then [ op ] else []) t.ir.ops))
+
+(* Maximum number of concurrently launchable kernels. *)
+let max_wave_width t =
+  List.fold_left (fun acc w -> max acc (List.length w)) 0 (waves t)
+
+(* True when neither statement transitively depends on the other. *)
+let independent t i j =
+  let rec reaches src dst =
+    src = dst || List.exists (fun p -> reaches src p) t.preds.(dst)
+  in
+  i <> j && (not (reaches i j)) && not (reaches j i)

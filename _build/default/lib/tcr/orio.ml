@@ -1,0 +1,228 @@
+(* The Orio / CUDA-CHiLL annotation layer of Figure 2(c).
+
+   In the paper, TCR does not call the transformation framework directly:
+   it emits *annotations* - a [def performance_params] block declaring the
+   tunable parameters and their domains, and a CHiLL recipe skeleton
+   referencing them - and Orio drives the search by instantiating the
+   parameters. This module renders both:
+
+   - [annotations]: the parameterized search-space declaration for a whole
+     program (one PERMUTE group and unroll-factor params per kernel);
+   - [recipe]: a concrete transformation recipe for chosen points, the form
+     CUDA-CHiLL consumes (cuda(...) / registers(...) / unroll(...) /
+     permute(...));
+   - [parse_recipe]: read a concrete recipe back into search points, so
+     recipes are a round-trippable interchange format. *)
+
+let quote s = "'" ^ s ^ "'"
+
+let param_name k suffix = Printf.sprintf "PERMUTE_%d_%s" k suffix
+
+let uf_name k loop = Printf.sprintf "UF_%d_%s" k loop
+
+let ro_name k = Printf.sprintf "RO_%d" k
+
+(* ------------------------------------------------------------------ *)
+(* Search-space declaration *)
+
+let param_line name values =
+  Printf.sprintf "  param %s[] = [%s];" name (String.concat "," values)
+
+let kernel_params k (space : Space.t) =
+  let c = space.candidates in
+  let lines =
+    [
+      param_line (param_name k "TX") (List.map quote c.tx);
+      param_line (param_name k "TY") (List.map quote c.ty);
+      param_line (param_name k "BX") (List.map quote c.bx);
+      param_line (param_name k "BY") (List.map quote c.by);
+    ]
+    @ List.map
+        (fun (loop, factors) ->
+          param_line (uf_name k loop) (List.map string_of_int factors))
+        c.unroll_loops
+    @
+    match Space.red_orders space with
+    | [] | [ _ ] -> []
+    | orders ->
+      [ param_line (ro_name k) (List.map (fun o -> quote (String.concat "." o)) orders) ]
+  in
+  String.concat "\n" lines
+
+(* The CHiLL skeleton of one kernel, with parameters in place of values. *)
+let kernel_skeleton k (space : Space.t) =
+  let out = space.op.out in
+  let reductions = Ir.reduction_indices space.op in
+  let lines =
+    [
+      Printf.sprintf "  cuda(%d,block={%s,%s},thread={%s,%s})" k (param_name k "BX")
+        (param_name k "BY") (param_name k "TX") (param_name k "TY");
+      Printf.sprintf "  registers(%d,%s)" k
+        (String.concat ","
+           (List.map (fun s -> "\"" ^ s ^ "\"") (reductions @ [ out ])));
+    ]
+    @ List.map
+        (fun (loop, _) -> Printf.sprintf "  unroll(%d,\"%s\",%s)" k loop (uf_name k loop))
+        space.candidates.unroll_loops
+    @
+    match Space.red_orders space with
+    | [] | [ _ ] -> []
+    | _ -> [ Printf.sprintf "  permute(%d,%s)" k (ro_name k) ]
+  in
+  String.concat "\n" lines
+
+let annotations (ps : Space.program_space) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "def performance_params {\n";
+  List.iteri
+    (fun i space ->
+      Buffer.add_string b (kernel_params (i + 1) space);
+      Buffer.add_char b '\n')
+    ps.op_spaces;
+  Buffer.add_string b "}\n/*@ begin CHiLL (\n";
+  List.iteri
+    (fun i space ->
+      Buffer.add_string b (kernel_skeleton (i + 1) space);
+      Buffer.add_char b '\n')
+    ps.op_spaces;
+  Buffer.add_string b ") @*/\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Concrete recipes *)
+
+let point_recipe k (point : Space.point) =
+  let d = point.decomp in
+  let opt = function None -> "1" | Some i -> i in
+  let lines =
+    [
+      Printf.sprintf "cuda(%d,block={%s,%s},thread={%s,%s})" k d.bx (opt d.by) d.tx
+        (opt d.ty);
+    ]
+    @ List.map
+        (fun (loop, u) -> Printf.sprintf "unroll(%d,\"%s\",%d)" k loop u)
+        point.unrolls
+    @
+    match point.red_order with
+    | [] | [ _ ] -> []
+    | order -> [ Printf.sprintf "permute(%d,[%s])" k (String.concat "," order) ]
+  in
+  String.concat "\n" lines
+
+let recipe (points : Space.point list) =
+  String.concat "\n" (List.mapi (fun i p -> point_recipe (i + 1) p) points)
+
+(* ------------------------------------------------------------------ *)
+(* Recipe parsing *)
+
+exception Parse_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* "cuda(2,block={e,1},thread={k,j})" etc. - a tiny regex-free scanner. *)
+let split_args s =
+  (* split on commas not inside braces or brackets *)
+  let out = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '{' | '[' ->
+        incr depth;
+        Buffer.add_char buf c
+      | '}' | ']' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  out := Buffer.contents buf :: !out;
+  List.rev_map String.trim !out
+
+let strip_wrap s open_c close_c =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = open_c && s.[n - 1] = close_c then String.sub s 1 (n - 2)
+  else err "expected %c...%c in %S" open_c close_c s
+
+let parse_call line =
+  match String.index_opt line '(' with
+  | None -> err "malformed recipe line %S" line
+  | Some i ->
+    let name = String.trim (String.sub line 0 i) in
+    let rest = String.trim (String.sub line i (String.length line - i)) in
+    let body = strip_wrap rest '(' ')' in
+    (name, split_args body)
+
+let unquote s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && ((s.[0] = '"' && s.[n - 1] = '"') || (s.[0] = '\'' && s.[n - 1] = '\'')) then
+    String.sub s 1 (n - 2)
+  else s
+
+let lift = function "1" -> None | i -> Some i
+
+(* Parse a concrete recipe back into per-kernel points. The program's
+   spaces determine how many kernels to expect. *)
+let parse_recipe (ps : Space.program_space) text =
+  let n = List.length ps.op_spaces in
+  let decomps = Array.make n None in
+  let unrolls = Array.make n [] in
+  let orders = Array.make n [] in
+  let kernel_index args =
+    match args with
+    | k :: _ -> (
+      match int_of_string_opt (String.trim k) with
+      | Some k when k >= 1 && k <= n -> k - 1
+      | _ -> err "bad kernel index in recipe")
+    | [] -> err "missing kernel index"
+  in
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line ->
+         let name, args = parse_call line in
+         let k = kernel_index args in
+         match (name, args) with
+         | "cuda", [ _; block; thread ] ->
+           let pair prefix s =
+             let body =
+               match Str_split.split_once s "=" with
+               | Some (key, v) when String.trim key = prefix -> strip_wrap v '{' '}'
+               | _ -> err "expected %s={...} in %S" prefix s
+             in
+             match split_args body with
+             | [ a; b ] -> (String.trim a, String.trim b)
+             | [ a ] -> (String.trim a, "1")
+             | _ -> err "expected two components in %S" s
+           in
+           let bx, by = pair "block" block in
+           let tx, ty = pair "thread" thread in
+           decomps.(k) <- Some { Space.tx; ty = lift ty; bx; by = lift by }
+         | "unroll", [ _; loop; factor ] -> (
+           match int_of_string_opt (String.trim factor) with
+           | Some u -> unrolls.(k) <- unrolls.(k) @ [ (unquote loop, u) ]
+           | None -> err "bad unroll factor %S" factor)
+         | "permute", [ _; order ] ->
+           let body = strip_wrap order '[' ']' in
+           orders.(k) <- List.map String.trim (String.split_on_char ',' body)
+         | "registers", _ -> ()  (* scalar replacement is always on *)
+         | other, _ -> err "unknown recipe directive %S" other);
+  List.mapi
+    (fun k (space : Space.t) ->
+      let decomp =
+        match decomps.(k) with
+        | Some d -> d
+        | None -> err "recipe lacks a cuda(...) line for kernel %d" (k + 1)
+      in
+      (* complete missing unrolls with factor 1, in candidate order *)
+      let unrolls =
+        List.map
+          (fun (loop, _) ->
+            (loop, match List.assoc_opt loop unrolls.(k) with Some u -> u | None -> 1))
+          space.candidates.unroll_loops
+      in
+      { Space.decomp; unrolls; red_order = orders.(k) })
+    ps.op_spaces

@@ -1,0 +1,116 @@
+(* Parser for the textual TCR format printed by [Ir.pp] (Figure 2(b)):
+
+     label
+     access: linearize
+     define:
+     i = 10
+     variables:
+     A:(l,k)
+     operations:
+     T1:(i,l,m) += C:(n,i)*U:(l,m,n)
+
+   Loop orders are not part of the concrete format; they are reconstructed
+   as output indices followed by reduction indices. *)
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let strip s = String.trim s
+
+let split_lines src =
+  String.split_on_char '\n' src
+  |> List.map strip
+  |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+
+(* "A:(l,k)" -> ("A", ["l"; "k"]) *)
+let parse_ref s =
+  match String.index_opt s ':' with
+  | None -> err "malformed tensor reference %S" s
+  | Some i ->
+    let name = strip (String.sub s 0 i) in
+    let rest = strip (String.sub s (i + 1) (String.length s - i - 1)) in
+    let n = String.length rest in
+    if n < 2 || rest.[0] <> '(' || rest.[n - 1] <> ')' then
+      err "malformed index list in %S" s;
+    let body = String.sub rest 1 (n - 2) in
+    let indices =
+      String.split_on_char ',' body |> List.map strip |> List.filter (fun x -> x <> "")
+    in
+    (name, indices)
+
+let parse_op line =
+  match Str_split.split_once line "+=" with
+  | None -> err "operation %S lacks '+='" line
+  | Some (lhs, rhs) ->
+    let out, out_indices = parse_ref (strip lhs) in
+    let factors =
+      String.split_on_char '*' rhs |> List.map strip |> List.map parse_ref
+    in
+    let all =
+      List.sort_uniq compare (out_indices @ List.concat_map snd factors)
+    in
+    let reductions = List.filter (fun i -> not (List.mem i out_indices)) all in
+    { Ir.out; out_indices; factors; loop_order = out_indices @ reductions }
+
+let program src =
+  match split_lines src with
+  | [] -> err "empty TCR program"
+  | label :: rest ->
+    let section = ref `Header in
+    let extents = ref [] in
+    let vars = ref [] in
+    let ops = ref [] in
+    List.iter
+      (fun line ->
+        match line with
+        | "access: linearize" -> ()
+        | "define:" -> section := `Define
+        | "variables:" -> section := `Variables
+        | "operations:" -> section := `Operations
+        | _ -> (
+          match !section with
+          | `Header -> err "unexpected line %S before a section" line
+          | `Define -> (
+            match Str_split.split_once line "=" with
+            | Some (name, value) -> (
+              match int_of_string_opt (strip value) with
+              | Some e -> extents := (strip name, e) :: !extents
+              | None -> err "bad extent in %S" line)
+            | None -> err "bad define line %S" line)
+          | `Variables ->
+            let name, dims = parse_ref line in
+            vars := { Ir.name; dims; role = Ir.Input } :: !vars
+          | `Operations -> ops := parse_op line :: !ops))
+      rest;
+    let ops = List.rev !ops in
+    let produced = List.map (fun (op : Ir.op) -> op.out) ops in
+    let final_out =
+      (* the output is the last produced tensor that no later op consumes *)
+      match
+        List.filter
+          (fun name ->
+            not
+              (List.exists
+                 (fun (op : Ir.op) -> List.exists (fun (f, _) -> f = name) op.factors)
+                 ops))
+          produced
+      with
+      | [ name ] -> name
+      | [] -> err "no final output found"
+      | names -> List.hd (List.rev names)
+    in
+    let vars =
+      List.rev_map
+        (fun (v : Ir.var) ->
+          let role =
+            if v.name = final_out then Ir.Output
+            else if List.mem v.name produced then Ir.Temp
+            else Ir.Input
+          in
+          { v with role })
+        !vars
+    in
+    let t = { Ir.label; extents = List.rev !extents; vars; ops } in
+    Ir.validate t;
+    t

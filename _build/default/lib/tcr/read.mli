@@ -1,0 +1,7 @@
+(** Parser for the textual TCR format printed by {!Ir.pp}. Loop orders are
+    not part of the concrete syntax; they are reconstructed as output
+    indices followed by reduction indices. *)
+
+exception Error of string
+
+val program : string -> Ir.t

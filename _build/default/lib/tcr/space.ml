@@ -1,0 +1,143 @@
+(* The autotuning search space of one TCR statement and of a whole program.
+
+   A [point] fixes the thread/block decomposition and the unroll factor of
+   each unrollable loop. Spaces are enumerable (for exhaustive search and
+   for the SURF configuration pool), countable, and samplable. *)
+
+type decomposition = {
+  tx : string;
+  ty : string option;  (* None = 1-dimensional thread block *)
+  bx : string;
+  by : string option;  (* None = 1-dimensional grid *)
+}
+
+type point = {
+  decomp : decomposition;
+  unrolls : (string * int) list;
+  red_order : string list;  (* permutation of the reduction loops; [] = default *)
+}
+
+type t = {
+  ir : Ir.t;
+  op_index : int;
+  op : Ir.op;
+  candidates : Decision.candidates;
+  max_threads_per_block : int;
+}
+
+let default_max_threads = 1024
+
+let make ?(max_threads_per_block = default_max_threads) (ir : Ir.t) op_index =
+  let op = List.nth ir.ops op_index in
+  let candidates = Decision.derive ir op in
+  { ir; op_index; op; candidates; max_threads_per_block }
+
+let mapped_indices d =
+  d.tx :: d.bx :: (Option.to_list d.ty @ Option.to_list d.by)
+
+(* Validity: choices pairwise distinct; block fits the thread limit. *)
+let decomposition_valid t d =
+  let chosen = mapped_indices d in
+  let distinct = List.sort_uniq compare chosen in
+  List.length distinct = List.length chosen
+  &&
+  let threads =
+    Ir.extent t.ir d.tx
+    * match d.ty with None -> 1 | Some ty -> Ir.extent t.ir ty
+  in
+  threads <= t.max_threads_per_block
+
+let lift = function "1" -> None | i -> Some i
+
+let decompositions t =
+  let c = t.candidates in
+  List.concat_map
+    (fun tx ->
+      List.concat_map
+        (fun ty ->
+          List.concat_map
+            (fun bx ->
+              List.filter_map
+                (fun by ->
+                  let d = { tx; ty = lift ty; bx; by = lift by } in
+                  if decomposition_valid t d then Some d else None)
+                c.by)
+            c.bx)
+        c.ty)
+    c.tx
+
+let unroll_combos t =
+  Util.Combinat.cartesian (List.map snd t.candidates.unroll_loops)
+  |> List.map (fun factors -> List.combine (List.map fst t.candidates.unroll_loops) factors)
+
+let red_orders t =
+  match t.candidates.red_orders with [] -> [ [] ] | orders -> orders
+
+let count t =
+  List.length (decompositions t) * List.length (unroll_combos t)
+  * List.length (red_orders t)
+
+let enumerate t =
+  let ds = decompositions t in
+  let us = unroll_combos t in
+  let rs = red_orders t in
+  List.concat_map
+    (fun decomp ->
+      List.concat_map
+        (fun unrolls -> List.map (fun red_order -> { decomp; unrolls; red_order }) rs)
+        us)
+    ds
+
+let sample rng t =
+  let ds = Array.of_list (decompositions t) in
+  let decomp = Util.Rng.pick rng ds in
+  let unrolls =
+    List.map (fun (l, fs) -> (l, Util.Rng.pick_list rng fs)) t.candidates.unroll_loops
+  in
+  let red_order = Util.Rng.pick_list rng (red_orders t) in
+  { decomp; unrolls; red_order }
+
+let point_key point =
+  let d = point.decomp in
+  Printf.sprintf "tx=%s ty=%s bx=%s by=%s %s%s" d.tx
+    (Option.value d.ty ~default:"1")
+    d.bx
+    (Option.value d.by ~default:"1")
+    (String.concat " " (List.map (fun (l, f) -> Printf.sprintf "u%s=%d" l f) point.unrolls))
+    (match point.red_order with [] | [ _ ] -> "" | o -> " ro=" ^ String.concat "." o)
+
+(* Feature description of a point, consumed by SURF's binarizer: the
+   decomposition parameters are categorical, the unroll factors numeric. *)
+type feature_value = Cat of string | Num of float
+
+let features t point =
+  let d = point.decomp in
+  [
+    ("tx", Cat d.tx);
+    ("ty", Cat (Option.value d.ty ~default:"1"));
+    ("bx", Cat d.bx);
+    ("by", Cat (Option.value d.by ~default:"1"));
+  ]
+  @ List.map (fun (l, f) -> ("unroll_" ^ l, Num (float_of_int f))) point.unrolls
+  @ (match point.red_order with
+    | [] | [ _ ] -> []
+    | o -> [ ("red_order", Cat (String.concat "." o)) ])
+  |> fun fs -> ignore t; fs
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program space: one sub-space per op, tuned independently (the
+   paper generates one kernel per statement, each individually optimized,
+   with data resident on the GPU in between). *)
+
+type program_space = { ir : Ir.t; op_spaces : t list }
+
+let of_ir ?max_threads_per_block ir =
+  {
+    ir;
+    op_spaces = List.mapi (fun i _ -> make ?max_threads_per_block ir i) ir.Ir.ops;
+  }
+
+(* Size of the cross-product space (what the paper reports: e.g. 512,000
+   tensor-code variants for Lg3t). *)
+let program_count ps =
+  List.fold_left (fun acc s -> acc * count s) 1 ps.op_spaces

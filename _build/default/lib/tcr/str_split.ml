@@ -1,0 +1,13 @@
+(* Minimal string splitting helper (the stdlib has no substring split). *)
+
+(* [split_once s sep] splits [s] at the first occurrence of [sep]. *)
+let split_once s sep =
+  let n = String.length s and m = String.length sep in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + m) (n - i - m))

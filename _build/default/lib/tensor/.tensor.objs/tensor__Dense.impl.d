@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array List Printf Shape String Util

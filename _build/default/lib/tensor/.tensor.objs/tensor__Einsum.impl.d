@@ -1,0 +1,1 @@
+lib/tensor/einsum.ml: Array Dense Hashtbl List Printf Shape

@@ -1,0 +1,102 @@
+(* Reference Einstein-summation evaluator.
+
+   This is the correctness oracle for the whole system: every OCTOPI variant
+   and every generated kernel is checked against the result of this direct
+   nested-loop evaluation. It is deliberately simple: iterate the full
+   iteration space (output indices x summation indices) and accumulate the
+   product of all operands. *)
+
+type operand = { tensor : Dense.t; indices : string list }
+
+let operand tensor indices =
+  if List.length indices <> Shape.rank (Dense.shape tensor) then
+    invalid_arg "Einsum.operand: index count does not match tensor rank";
+  { tensor; indices }
+
+(* Infer the extent of every index from the operands, checking that an index
+   has the same extent everywhere it appears. *)
+let infer_extents operands =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun { tensor; indices } ->
+      let shape = Dense.shape tensor in
+      List.iteri
+        (fun pos name ->
+          let extent = shape.(pos) in
+          match Hashtbl.find_opt tbl name with
+          | None -> Hashtbl.add tbl name extent
+          | Some e ->
+            if e <> extent then
+              invalid_arg
+                (Printf.sprintf "Einsum: index %s has conflicting extents %d and %d" name e
+                   extent))
+        indices)
+    operands;
+  tbl
+
+(* [contract ~output_indices operands] evaluates the contraction whose
+   summation indices are those appearing in [operands] but not in
+   [output_indices]. Repeated output indices are rejected. *)
+let contract ~output_indices operands =
+  if operands = [] then invalid_arg "Einsum.contract: no operands";
+  let extents = infer_extents operands in
+  let distinct = List.sort_uniq compare output_indices in
+  if List.length distinct <> List.length output_indices then
+    invalid_arg "Einsum.contract: repeated output index";
+  let extent name =
+    match Hashtbl.find_opt extents name with
+    | Some e -> e
+    | None ->
+      invalid_arg (Printf.sprintf "Einsum.contract: output index %s not used" name)
+  in
+  let all_indices =
+    List.sort_uniq compare (List.concat_map (fun o -> o.indices) operands)
+  in
+  let sum_indices = List.filter (fun i -> not (List.mem i output_indices)) all_indices in
+  let out_shape = Shape.of_list (List.map extent output_indices) in
+  let sum_shape = Shape.of_list (List.map (fun i -> Hashtbl.find extents i) sum_indices) in
+  let out = Dense.create out_shape in
+  (* Precompute, per operand, the positions of its indices within the
+     (output ++ sum) index vector so the inner loop is just array reads. *)
+  let position name =
+    let rec find i = function
+      | [] -> assert false
+      | x :: rest -> if x = name then i else find (i + 1) rest
+    in
+    find 0 (output_indices @ sum_indices)
+  in
+  let n_out = List.length output_indices in
+  let operand_slots =
+    List.map (fun o -> (o.tensor, Array.of_list (List.map position o.indices))) operands
+  in
+  let env = Array.make (n_out + List.length sum_indices) 0 in
+  let idx_buf tensor_rank = Array.make tensor_rank 0 in
+  let bufs = List.map (fun (t, slots) -> (t, slots, idx_buf (Array.length slots))) operand_slots in
+  Shape.iter out_shape (fun out_idx ->
+      Array.blit out_idx 0 env 0 n_out;
+      let acc = ref 0.0 in
+      Shape.iter sum_shape (fun sum_idx ->
+          Array.blit sum_idx 0 env n_out (Array.length sum_idx);
+          let prod = ref 1.0 in
+          List.iter
+            (fun (tensor, slots, buf) ->
+              Array.iteri (fun i slot -> buf.(i) <- env.(slot)) slots;
+              prod := !prod *. Dense.get tensor buf)
+            bufs;
+          acc := !acc +. !prod);
+      Dense.set out out_idx !acc);
+  out
+
+(* Number of scalar multiply-add pairs the naive evaluation performs; used in
+   tests of OCTOPI's operation-count accounting. *)
+let naive_flops ~output_indices operands =
+  let extents = infer_extents operands in
+  let all_indices =
+    List.sort_uniq compare (List.concat_map (fun o -> o.indices) operands)
+  in
+  ignore output_indices;
+  let space =
+    List.fold_left (fun acc i -> acc * Hashtbl.find extents i) 1 all_indices
+  in
+  (* per point of the full iteration space: (k-1) multiplies and 1 add *)
+  space * List.length operands

@@ -1,0 +1,20 @@
+(** Reference Einstein-summation evaluator: the correctness oracle for the
+    whole system. Every OCTOPI variant and every generated kernel is checked
+    against this direct nested-loop evaluation. *)
+
+type operand
+
+(** [operand t indices] names the dimensions of [t], outermost first.
+    Raises if the index count does not match the tensor rank. *)
+val operand : Dense.t -> string list -> operand
+
+(** [contract ~output_indices operands] evaluates the contraction whose
+    summation indices are those appearing in operands but not in
+    [output_indices] (the Einstein convention). Raises on inconsistent
+    extents, repeated output indices, or output indices not used by any
+    operand. *)
+val contract : output_indices:string list -> operand list -> Dense.t
+
+(** Flops of the naive single-loop-nest evaluation: one multiply per extra
+    operand plus one add, per point of the full iteration space. *)
+val naive_flops : output_indices:string list -> operand list -> int

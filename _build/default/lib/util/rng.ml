@@ -1,0 +1,78 @@
+(* Deterministic splitmix64 pseudo-random number generator.
+
+   Every stochastic component of the system (random tensor data, SURF
+   sampling, tree randomization, simulated measurement noise) draws from an
+   explicit [t] so that whole-pipeline runs are reproducible bit-for-bit. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* Core splitmix64 step: returns 64 pseudo-random bits. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Derive an independent stream; used to give each subsystem its own RNG. *)
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.mul seed 0x2545F4914F6CDD1DL }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let float t bound =
+  let mask53 = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float mask53 /. 9007199254740992.0 *. bound
+
+(* Uniform in [lo, hi). *)
+let float_range t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Standard normal via Box-Muller. *)
+let gaussian t =
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(* Fisher-Yates shuffle, in place. *)
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle t lst =
+  let arr = Array.of_list lst in
+  shuffle_in_place t arr;
+  Array.to_list arr
+
+(* [sample_without_replacement t k arr] returns [k] distinct elements. *)
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  let idx = Array.init n (fun i -> i) in
+  shuffle_in_place t idx;
+  Array.init k (fun i -> arr.(idx.(i)))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t lst =
+  match lst with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth lst (int t (List.length lst))

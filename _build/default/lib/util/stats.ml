@@ -1,0 +1,56 @@
+(* Summary statistics used by the autotuner reports and SURF. *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. n
+
+let stddev xs = sqrt (variance xs)
+
+let min_list = function
+  | [] -> invalid_arg "Stats.min_list: empty"
+  | x :: xs -> List.fold_left min x xs
+
+let max_list = function
+  | [] -> invalid_arg "Stats.max_list: empty"
+  | x :: xs -> List.fold_left max x xs
+
+let median xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+(* Index of the minimizing element. *)
+let argmin f = function
+  | [] -> invalid_arg "Stats.argmin: empty"
+  | x :: xs ->
+    let _, best_i, _ =
+      List.fold_left
+        (fun (i, best_i, best_v) y ->
+          let v = f y in
+          if v < best_v then (i + 1, i, v) else (i + 1, best_i, best_v))
+        (1, 0, f x) xs
+    in
+    best_i
+
+(* Coefficient of determination of predictions vs. observations. *)
+let r_squared ~actual ~predicted =
+  if List.length actual <> List.length predicted then
+    invalid_arg "Stats.r_squared: length mismatch";
+  let m = mean actual in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. m) ** 2.0)) 0.0 actual in
+  let ss_res =
+    List.fold_left2 (fun acc y yh -> acc +. ((y -. yh) ** 2.0)) 0.0 actual predicted
+  in
+  if ss_tot = 0.0 then if ss_res = 0.0 then 1.0 else 0.0 else 1.0 -. (ss_res /. ss_tot)

@@ -1,0 +1,24 @@
+(** Summary statistics used by the autotuner reports and SURF tests. *)
+
+(** Arithmetic mean; [nan] on the empty list. *)
+val mean : float list -> float
+
+(** Population variance; 0 for fewer than two samples. *)
+val variance : float list -> float
+
+val stddev : float list -> float
+
+(** Raise [Invalid_argument] on the empty list. *)
+val min_list : float list -> float
+
+val max_list : float list -> float
+
+(** Median; [nan] on the empty list. *)
+val median : float list -> float
+
+(** [argmin f l]: index of the element minimizing [f]. Raises on empty. *)
+val argmin : ('a -> float) -> 'a list -> int
+
+(** Coefficient of determination of [predicted] against [actual]; 1 for a
+    perfect fit, 0 for the mean predictor. Raises on length mismatch. *)
+val r_squared : actual:float list -> predicted:float list -> float

@@ -1,0 +1,45 @@
+(* Plain-text table rendering for the benchmark harness output.
+
+   Columns are sized to their widest cell; the first row is treated as a
+   header and separated by a rule, mirroring the layout of the paper's
+   tables so outputs are easy to compare side by side. *)
+
+type t = { title : string; rows : string list list }
+
+let create ~title rows = { title; rows }
+
+let widths rows =
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 rows in
+  let w = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)))
+    rows;
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render { title; rows } =
+  match rows with
+  | [] -> title ^ "\n(empty)\n"
+  | header :: body ->
+    let w = widths rows in
+    let render_row r =
+      r
+      |> List.mapi (fun i cell -> pad w.(i) cell)
+      |> String.concat "  "
+      |> fun s -> String.trim s ^ "\n"
+      |> fun s -> "  " ^ s
+    in
+    let rule =
+      "  "
+      ^ String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w))
+      ^ "\n"
+    in
+    String.concat ""
+      ((title ^ "\n") :: render_row header :: rule :: List.map render_row body)
+
+let print t = print_string (render t)
+
+(* Format a float with [digits] decimals; keeps table cells compact. *)
+let cell_f ?(digits = 2) v =
+  if Float.is_nan v then "n/a" else Printf.sprintf "%.*f" digits v

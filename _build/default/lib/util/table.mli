@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the benchmark harness, mirroring the
+    layout of the paper's tables so outputs compare side by side. *)
+
+type t
+
+(** [create ~title rows]: the first row is the header. *)
+val create : title:string -> string list list -> t
+
+(** Render with columns sized to their widest cell and a rule under the
+    header. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** Format a float with [digits] decimals (default 2); ["n/a"] for NaN. *)
+val cell_f : ?digits:int -> float -> string

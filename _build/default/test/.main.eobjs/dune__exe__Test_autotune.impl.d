@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Astring_contains Autotune Benchsuite Cpusim Gpusim List Octopi Surf Tcr Util

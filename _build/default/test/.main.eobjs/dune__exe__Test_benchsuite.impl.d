@@ -1,0 +1,1 @@
+test/test_benchsuite.ml: Alcotest Autotune Benchsuite Codegen List Octopi Tcr Tensor Util

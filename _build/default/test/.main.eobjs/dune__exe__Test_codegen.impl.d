@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring_contains Autotune Benchsuite Codegen List Octopi Printf QCheck QCheck_alcotest Tcr Tensor Util

@@ -1,0 +1,1 @@
+test/test_cpusim.ml: Alcotest Autotune Benchsuite Cpusim Gpusim List Octopi Printf Tcr Util

@@ -1,0 +1,1 @@
+test/test_cse.ml: Alcotest Autotune Benchsuite Codegen List Tcr Tensor Util

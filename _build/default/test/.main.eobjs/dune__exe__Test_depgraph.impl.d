@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Autotune Benchsuite Gpusim List Octopi Tcr

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Astring_contains Autotune Benchsuite Codegen Gpusim List Octopi String Tcr Tensor Util

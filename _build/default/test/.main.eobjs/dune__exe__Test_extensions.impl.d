@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Astring_contains Autotune Benchsuite Codegen Gpusim List Octopi Surf Tcr Tensor Util

@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Astring_contains Barracuda Codegen Format Lazy List Octopi String Tcr

@@ -1,0 +1,1 @@
+test/test_frontends.ml: Alcotest Astring_contains Autotune Benchsuite Codegen Gpusim Lazy List Octopi Surf Tcr Tensor Util

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Codegen Gpusim List Octopi Printf Tcr Tensor Util

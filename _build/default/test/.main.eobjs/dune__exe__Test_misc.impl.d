@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring_contains Autotune Benchsuite Codegen Cpusim Format Gpusim List Octopi Printf String Tcr Util

@@ -1,0 +1,1 @@
+test/test_more_properties.ml: Alcotest Array Gpusim List Octopi Printf QCheck QCheck_alcotest Surf Tcr Util

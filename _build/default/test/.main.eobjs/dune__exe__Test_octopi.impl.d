@@ -1,0 +1,1 @@
+test/test_octopi.ml: Alcotest List Octopi Printf QCheck QCheck_alcotest String Tensor Util

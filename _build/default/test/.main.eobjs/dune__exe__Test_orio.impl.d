@@ -1,0 +1,1 @@
+test/test_orio.ml: Alcotest Astring_contains Codegen List Octopi Tcr Tensor Util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Codegen Float Gpusim Hashtbl List Octopi Option Printf QCheck QCheck_alcotest String Surf Tcr Tensor Util

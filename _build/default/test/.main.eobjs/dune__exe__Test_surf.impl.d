@@ -1,0 +1,1 @@
+test/test_surf.ml: Alcotest Array List Printf Surf Util

@@ -1,0 +1,1 @@
+test/test_tcr.ml: Alcotest Astring_contains List Octopi Option String Tcr Util

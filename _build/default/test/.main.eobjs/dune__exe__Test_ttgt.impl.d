@@ -1,0 +1,1 @@
+test/test_ttgt.ml: Alcotest Autotune Benchsuite Gpusim List Octopi Tcr Util

@@ -1,0 +1,21 @@
+(* Tiny substring-search helper for the test-suite. *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  if m = 0 then true
+  else begin
+    let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+    go 0
+  end
+
+let count haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  if m = 0 then 0
+  else begin
+    let rec go i acc =
+      if i + m > n then acc
+      else if String.sub haystack i m = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  end

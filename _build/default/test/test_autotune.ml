@@ -1,0 +1,154 @@
+(* End-to-end tests of the autotuning pipeline: statement merging, the
+   evaluator, and the tuner itself (at reduced sizes so functional
+   validation stays fast). *)
+
+let check_int = Alcotest.(check int)
+let arch = Gpusim.Arch.gtx980
+
+let small_eqn1 () = Benchsuite.Suite.eqn1 ~n:6 ()
+let small_lg3t () = Benchsuite.Suite.lg3t ~p:4 ~elems:3 ()
+
+(* ---------------- Combine ---------------- *)
+
+let test_merge_lg3t () =
+  let b = small_lg3t () in
+  let choices = Autotune.Tuner.variant_choices b in
+  check_int "single joint variant" 1 (List.length choices);
+  let ir = (List.hd choices).v_ir in
+  check_int "three ops" 3 (List.length ir.ops);
+  check_int "one output" 1 (List.length (Tcr.Ir.outputs ir));
+  Alcotest.(check string) "output name" "w" (List.hd (Tcr.Ir.outputs ir)).name;
+  (* D shared across the statements: declared once *)
+  check_int "inputs: D ur us ut" 4 (List.length (Tcr.Ir.inputs ir))
+
+let test_merge_temp_renaming () =
+  (* two statements that both create a temporary T1 *)
+  let src =
+    "dims: i=3 j=3 k=3 l=3\n\
+     X[i] = Sum([j k], A[i j] * B[j k] * C[k i])\n\
+     Y[i] = Sum([j l], A[i j] * B[j l] * E[l i])"
+  in
+  let b = Autotune.Tuner.benchmark_of_dsl ~label:"two" src in
+  let choices = Autotune.Tuner.variant_choices b in
+  (* 3 trees per statement: 9 joint variants *)
+  check_int "variant cross product" 9 (List.length choices);
+  List.iter
+    (fun (c : Autotune.Tuner.variant_choice) ->
+      Tcr.Ir.validate c.v_ir;
+      let temp_names = List.map (fun (v : Tcr.Ir.var) -> v.name) (Tcr.Ir.temps c.v_ir) in
+      check_int "temps distinct" (List.length temp_names)
+        (List.length (List.sort_uniq compare temp_names)))
+    choices
+
+let test_merge_extent_conflict () =
+  let src = "dims: i=3 j=4\nX[i] = Sum([j], A[i j])\ndims: j=5\n" in
+  (* conflicting extents across statements must be rejected at merge *)
+  ignore src;
+  let c1 = Octopi.Contraction.of_program (Octopi.Parse.program "dims: i=3 j=4\nX[i] = Sum([j], A[i j])") in
+  let c2 = Octopi.Contraction.of_program (Octopi.Parse.program "dims: i=3 j=5\nY[i] = Sum([j], B[i j])") in
+  let v c = List.hd (Octopi.Variants.of_contraction c).variants in
+  let choice = List.map (fun c -> (c, v c)) (c1 @ c2) in
+  Alcotest.(check bool) "conflict detected" true
+    (try
+       ignore (Autotune.Combine.merge ~label:"bad" choice);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Evaluator ---------------- *)
+
+let test_evaluator_memoizes () =
+  let b = small_eqn1 () in
+  let choices = Autotune.Tuner.variant_choices b in
+  let c = List.hd choices in
+  let points = List.map (fun s -> List.hd (Tcr.Space.enumerate s)) c.spaces.op_spaces in
+  let e = Autotune.Evaluator.create arch in
+  let t1 = Autotune.Evaluator.objective e c.v_ir points in
+  let n1 = e.evaluations in
+  let t2 = Autotune.Evaluator.objective e c.v_ir points in
+  Alcotest.(check (float 0.0)) "same objective" t1 t2;
+  check_int "no second evaluation" n1 e.evaluations
+
+let test_evaluator_search_cost_grows () =
+  let b = small_eqn1 () in
+  let c = List.hd (Autotune.Tuner.variant_choices b) in
+  let e = Autotune.Evaluator.create arch in
+  let rng = Util.Rng.create 3 in
+  let before = e.search_seconds in
+  let points = List.map (fun s -> Tcr.Space.sample rng s) c.spaces.op_spaces in
+  ignore (Autotune.Evaluator.objective e c.v_ir points);
+  Alcotest.(check bool) "cost accounted" true (e.search_seconds > before)
+
+(* ---------------- Tuner ---------------- *)
+
+let tune_small ?strategy () =
+  let b = small_eqn1 () in
+  let cfg = { Surf.Search.default_config with max_evals = 30; batch_size = 6 } in
+  let strategy =
+    match strategy with Some s -> s | None -> Autotune.Tuner.Surf_search cfg
+  in
+  Autotune.Tuner.tune ~strategy ~pool_per_variant:40 ~rng:(Util.Rng.create 21) ~arch b
+
+let test_tune_end_to_end () =
+  let r = tune_small () in
+  Alcotest.(check bool) "positive gflops" true (r.gflops > 0.0);
+  check_int "fifteen variants" 15 r.variant_count;
+  Alcotest.(check bool) "pool bounded" true (r.pool_size <= 15 * 40);
+  check_int "respects budget" 30 r.evaluations
+
+let test_tune_result_valid () =
+  (* the tuned program must compute the correct tensor *)
+  let r = tune_small () in
+  Alcotest.(check bool) "functional validation" true (Autotune.Tuner.validate r)
+
+let test_tune_deterministic () =
+  let r1 = tune_small () in
+  let r2 = tune_small () in
+  Alcotest.(check (float 0.0)) "same result" r1.gflops r2.gflops
+
+let test_tune_emit_cuda () =
+  let r = tune_small () in
+  let cuda = Autotune.Tuner.emit_cuda r in
+  Alcotest.(check bool) "kernels emitted" true
+    (Astring_contains.count cuda "__global__" >= 1)
+
+let test_tune_exhaustive_at_least_as_good () =
+  let r_surf = tune_small () in
+  let r_ex = tune_small ~strategy:Autotune.Tuner.Exhaustive () in
+  Alcotest.(check bool) "exhaustive is a lower bound" true
+    (r_ex.best_report.kernel_time_s <= r_surf.best_report.kernel_time_s +. 1e-12)
+
+let test_tune_convergence_matches_evals () =
+  let r = tune_small () in
+  check_int "curve length" r.evaluations (List.length r.convergence)
+
+let test_cpu_baseline_uses_best_variant () =
+  let b = small_eqn1 () in
+  let t_best = Autotune.Tuner.best_sequential_time b in
+  let choices = Autotune.Tuner.variant_choices b in
+  List.iter
+    (fun (c : Autotune.Tuner.variant_choice) ->
+      Alcotest.(check bool) "minimal" true
+        (t_best <= Cpusim.Haswell.sequential_time c.v_ir +. 1e-15))
+    choices
+
+let test_min_variant_flops () =
+  let b = small_eqn1 () in
+  (* n = 6: three binary nests of 2 x 6^4 flops *)
+  check_int "min flops" (3 * 2 * (6 * 6 * 6 * 6)) (Autotune.Tuner.min_variant_flops b)
+
+let suite =
+  [
+    ("merge lg3t", `Quick, test_merge_lg3t);
+    ("merge renames temps", `Quick, test_merge_temp_renaming);
+    ("merge extent conflict", `Quick, test_merge_extent_conflict);
+    ("evaluator memoizes", `Quick, test_evaluator_memoizes);
+    ("evaluator accounts search cost", `Quick, test_evaluator_search_cost_grows);
+    ("tune end to end", `Quick, test_tune_end_to_end);
+    ("tuned program is correct", `Slow, test_tune_result_valid);
+    ("tune deterministic", `Quick, test_tune_deterministic);
+    ("tune emits cuda", `Quick, test_tune_emit_cuda);
+    ("exhaustive lower-bounds surf", `Slow, test_tune_exhaustive_at_least_as_good);
+    ("convergence curve length", `Quick, test_tune_convergence_matches_evals);
+    ("cpu baseline minimal", `Quick, test_cpu_baseline_uses_best_variant);
+    ("min variant flops", `Quick, test_min_variant_flops);
+  ]

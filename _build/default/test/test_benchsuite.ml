@@ -1,0 +1,193 @@
+(* Tests for the benchmark suite: the Table I computations, the 27 NWChem
+   kernel definitions and the Nekbone CG mini-app. *)
+
+let check_int = Alcotest.(check int)
+
+(* ---------------- Suite definitions ---------------- *)
+
+let test_eqn1_definition () =
+  let b = Benchsuite.Suite.eqn1 () in
+  check_int "one statement" 1 (List.length b.statements);
+  let c = List.hd b.statements in
+  Alcotest.(check string) "output" "V" c.output;
+  check_int "extent 10" 10 (Octopi.Contraction.extent c "i")
+
+let test_lg3_definition () =
+  let b = Benchsuite.Suite.lg3 () in
+  check_int "three statements" 3 (List.length b.statements);
+  List.iter
+    (fun (c : Octopi.Contraction.t) ->
+      Alcotest.(check (list string)) "one reduction" [ "l" ] c.sum_indices;
+      check_int "order 12" 12 (Octopi.Contraction.extent c "i");
+      check_int "batched" 512 (Octopi.Contraction.extent c "e"))
+    b.statements
+
+let test_lg3t_accumulates () =
+  let b = Benchsuite.Suite.lg3t () in
+  check_int "three statements" 3 (List.length b.statements);
+  List.iter
+    (fun (c : Octopi.Contraction.t) -> Alcotest.(check string) "all write w" "w" c.output)
+    b.statements
+
+let test_tce_definition () =
+  let b = Benchsuite.Suite.tce_ex ~n:4 () in
+  let c = List.hd b.statements in
+  check_int "four factors" 4 (List.length c.factors);
+  check_int "six contracted indices" 6 (List.length c.sum_indices);
+  (* the classic example also yields 15 binary evaluation orders *)
+  check_int "15 variants" 15
+    (List.length (Octopi.Variants.of_contraction c).variants)
+
+let test_all_individual () =
+  check_int "four benchmarks" 4 (List.length (Benchsuite.Suite.all_individual ()))
+
+(* ---------------- NWChem kernels ---------------- *)
+
+let test_nwchem_counts () =
+  List.iter
+    (fun family ->
+      check_int "nine kernels" 9 (List.length (Benchsuite.Nwchem.benchmarks family)))
+    Benchsuite.Nwchem.families
+
+let test_nwchem_labels () =
+  let b = Benchsuite.Nwchem.benchmark Benchsuite.Nwchem.D1 ~index:3 in
+  Alcotest.(check string) "label" "d1_3" b.label
+
+let test_nwchem_s1_no_reduction () =
+  List.iter
+    (fun (b : Autotune.Tuner.benchmark) ->
+      let c = List.hd b.statements in
+      Alcotest.(check (list string)) "outer product" [] c.sum_indices)
+    (Benchsuite.Nwchem.benchmarks ~n:4 Benchsuite.Nwchem.S1)
+
+let test_nwchem_d1_d2_reductions () =
+  let d1 = Benchsuite.Nwchem.benchmark ~n:4 Benchsuite.Nwchem.D1 ~index:5 in
+  let d2 = Benchsuite.Nwchem.benchmark ~n:4 Benchsuite.Nwchem.D2 ~index:5 in
+  Alcotest.(check (list string)) "d1 sums h7" [ "h7" ]
+    (List.hd d1.statements).sum_indices;
+  Alcotest.(check (list string)) "d2 sums p7" [ "p7" ]
+    (List.hd d2.statements).sum_indices
+
+let test_nwchem_output_signature () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun (b : Autotune.Tuner.benchmark) ->
+          let c = List.hd b.statements in
+          Alcotest.(check string) "writes t3" "t3" c.output;
+          check_int "rank-6 output" 6 (List.length c.output_indices))
+        (Benchsuite.Nwchem.benchmarks ~n:4 family))
+    Benchsuite.Nwchem.families
+
+let test_nwchem_signatures_distinct () =
+  List.iter
+    (fun family ->
+      let sigs = Benchsuite.Nwchem.signatures family in
+      check_int "nine distinct" 9 (List.length (List.sort_uniq compare sigs)))
+    Benchsuite.Nwchem.families
+
+let test_nwchem_kernels_execute () =
+  (* every kernel functionally validates at n = 4 *)
+  List.iter
+    (fun family ->
+      let b = Benchsuite.Nwchem.benchmark ~n:4 family ~index:1 in
+      let c = List.hd (Autotune.Tuner.variant_choices b) in
+      let rng = Util.Rng.create 2 in
+      let inputs =
+        List.filter_map
+          (fun (v : Tcr.Ir.var) ->
+            if v.role = Tcr.Ir.Input then
+              Some (v.name, Tensor.Dense.random rng (Tcr.Ir.var_shape c.v_ir v.name))
+            else None)
+          c.v_ir.vars
+      in
+      let points =
+        List.map (fun s -> List.hd (Tcr.Space.enumerate s)) c.spaces.op_spaces
+      in
+      let got = Codegen.Exec.run_program c.v_ir points inputs in
+      let want = Codegen.Exec.run_reference c.v_ir inputs in
+      Alcotest.(check bool)
+        (Benchsuite.Nwchem.family_name family ^ " correct")
+        true
+        (Tensor.Dense.approx_equal (List.assoc "t3" want) (List.assoc "t3" got)))
+    Benchsuite.Nwchem.families
+
+(* ---------------- Nekbone ---------------- *)
+
+let small_problem = { Benchsuite.Nekbone.p = 4; elems = 3 }
+
+let test_nekbone_operator_linear () =
+  let op = Benchsuite.Nekbone.make_operator small_problem in
+  let rng = Util.Rng.create 31 in
+  let shape = Benchsuite.Nekbone.field_shape small_problem in
+  let x = Tensor.Dense.random rng shape and y = Tensor.Dense.random rng shape in
+  let axy = Benchsuite.Nekbone.apply op (Tensor.Dense.add x y) in
+  let ax_ay = Tensor.Dense.add (Benchsuite.Nekbone.apply op x) (Benchsuite.Nekbone.apply op y) in
+  Alcotest.(check bool) "A(x+y) = A(x)+A(y)" true
+    (Tensor.Dense.approx_equal ~tol:1e-8 axy ax_ay)
+
+let test_nekbone_operator_spd () =
+  let op = Benchsuite.Nekbone.make_operator small_problem in
+  let rng = Util.Rng.create 32 in
+  let shape = Benchsuite.Nekbone.field_shape small_problem in
+  for _ = 1 to 5 do
+    let x = Tensor.Dense.random rng shape in
+    let quad = Tensor.Dense.dot x (Benchsuite.Nekbone.apply op x) in
+    Alcotest.(check bool) "x' A x > 0" true (quad > 0.0)
+  done
+
+let test_nekbone_cg_converges () =
+  let op = Benchsuite.Nekbone.make_operator small_problem in
+  let rng = Util.Rng.create 33 in
+  let b = Tensor.Dense.random rng (Benchsuite.Nekbone.field_shape small_problem) in
+  let x, stats = Benchsuite.Nekbone.cg_solve ~tol:1e-8 ~max_iter:400 op b in
+  Alcotest.(check bool) "converged" true stats.converged;
+  (* verify the solution satisfies A x = b *)
+  let r = Tensor.Dense.sub b (Benchsuite.Nekbone.apply op x) in
+  Alcotest.(check bool) "residual small" true
+    (Tensor.Dense.norm2 r /. Tensor.Dense.norm2 b < 1e-6)
+
+let test_nekbone_residuals_decrease () =
+  let op = Benchsuite.Nekbone.make_operator small_problem in
+  let rng = Util.Rng.create 34 in
+  let b = Tensor.Dense.random rng (Benchsuite.Nekbone.field_shape small_problem) in
+  let _, stats = Benchsuite.Nekbone.cg_solve ~tol:1e-10 ~max_iter:100 op b in
+  let first = List.hd stats.residuals in
+  let last = List.nth stats.residuals (List.length stats.residuals - 1) in
+  Alcotest.(check bool) "overall decrease" true (last < first /. 100.0)
+
+let test_nekbone_contraction_fraction () =
+  let op = Benchsuite.Nekbone.make_operator Benchsuite.Nekbone.default in
+  let f = Benchsuite.Nekbone.contraction_fraction_cpu op in
+  (* the paper quotes ~60% of sequential time in the contractions *)
+  Alcotest.(check bool) "fraction plausible" true (f > 0.4 && f < 0.95)
+
+let test_nekbone_perf_accounting () =
+  let op = Benchsuite.Nekbone.make_operator Benchsuite.Nekbone.default in
+  let t1 = Benchsuite.Nekbone.cpu_iter_time ~cores:1 op in
+  let t4 = Benchsuite.Nekbone.cpu_iter_time ~cores:4 op in
+  Alcotest.(check bool) "omp faster" true (t4 < t1);
+  let g1 = Benchsuite.Nekbone.gflops_of_iter_time op t1 in
+  Alcotest.(check bool) "1-core gflops sane" true (g1 > 0.5 && g1 < 20.0)
+
+let suite =
+  [
+    ("eqn1 definition", `Quick, test_eqn1_definition);
+    ("lg3 definition", `Quick, test_lg3_definition);
+    ("lg3t accumulates into w", `Quick, test_lg3t_accumulates);
+    ("tce definition", `Quick, test_tce_definition);
+    ("all individual benchmarks", `Quick, test_all_individual);
+    ("nwchem kernel counts", `Quick, test_nwchem_counts);
+    ("nwchem labels", `Quick, test_nwchem_labels);
+    ("nwchem s1 outer product", `Quick, test_nwchem_s1_no_reduction);
+    ("nwchem d1/d2 reductions", `Quick, test_nwchem_d1_d2_reductions);
+    ("nwchem output signature", `Quick, test_nwchem_output_signature);
+    ("nwchem signatures distinct", `Quick, test_nwchem_signatures_distinct);
+    ("nwchem kernels execute", `Slow, test_nwchem_kernels_execute);
+    ("nekbone operator linear", `Quick, test_nekbone_operator_linear);
+    ("nekbone operator spd", `Quick, test_nekbone_operator_spd);
+    ("nekbone cg converges", `Slow, test_nekbone_cg_converges);
+    ("nekbone residuals decrease", `Quick, test_nekbone_residuals_decrease);
+    ("nekbone contraction fraction", `Quick, test_nekbone_contraction_fraction);
+    ("nekbone perf accounting", `Quick, test_nekbone_perf_accounting);
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the CPU baselines (Haswell sequential / OpenMP) and the
+   OpenACC compilation models. *)
+
+let ir_of_dsl src =
+  let set = match Octopi.Variants.of_string src with [ s ] -> s | _ -> assert false in
+  Tcr.Ir.of_variant ~label:"t" set.contraction (List.hd set.variants)
+
+let mm n = ir_of_dsl (Printf.sprintf "dims: i=%d j=%d k=%d\nC[i j] = Sum([k], A[i k] * B[k j])" n n n)
+
+(* ---------------- Haswell ---------------- *)
+
+let test_sequential_positive () =
+  let ir = mm 32 in
+  let t = Cpusim.Haswell.sequential_time ir in
+  Alcotest.(check bool) "positive" true (t > 0.0)
+
+let test_sequential_scales_with_work () =
+  let t32 = Cpusim.Haswell.sequential_time (mm 32) in
+  let t64 = Cpusim.Haswell.sequential_time (mm 64) in
+  (* 8x the flops: at least 4x the time under any locality factor *)
+  Alcotest.(check bool) "superlinear work growth" true (t64 > 4.0 *. t32)
+
+let test_openmp_speedup_bounds () =
+  let ir = mm 128 in
+  let t_seq = Cpusim.Haswell.sequential_time ir in
+  let t_omp = Cpusim.Haswell.openmp_time ir in
+  let speedup = t_seq /. t_omp in
+  Alcotest.(check bool) "faster than sequential" true (speedup > 1.0);
+  (* 4 cores x vector bonus 1.6 x efficiency bounds the gain *)
+  Alcotest.(check bool) "bounded" true (speedup <= 4.0 *. 1.6 *. 1.05)
+
+let test_openmp_limited_by_outer_extent () =
+  (* a 2-wide outermost parallel loop cannot use 4 cores *)
+  let ir = ir_of_dsl "dims: i=2 j=256 k=256\nC[i j] = Sum([k], A[i k] * B[k j])" in
+  let t2 = Cpusim.Haswell.openmp_time ~cores:2 ir in
+  let t4 = Cpusim.Haswell.openmp_time ~cores:4 ir in
+  Alcotest.(check (float 1e-12)) "no gain beyond extent" t2 t4
+
+let test_bandwidth_bound_kernel () =
+  (* s1-style: rank-6 output with a tiny input: streaming dominates and the
+     4-core version gains little (paper Table IV: s1 2.47 -> 2.61 GF) *)
+  let b = Benchsuite.Nwchem.benchmark ~n:16 Benchsuite.Nwchem.S1 ~index:1 in
+  let ir = (List.hd (Autotune.Tuner.variant_choices b)).v_ir in
+  let t_seq = Cpusim.Haswell.sequential_time ir in
+  let t_omp = Cpusim.Haswell.openmp_time ir in
+  Alcotest.(check bool) "memory bound: omp gains < 2.2x" true (t_seq /. t_omp < 2.2)
+
+let test_compute_bound_kernel_scales () =
+  (* d1-style: reduction raises arithmetic intensity; OpenMP scales well *)
+  let b = Benchsuite.Nwchem.benchmark ~n:16 Benchsuite.Nwchem.D1 ~index:1 in
+  let ir = (List.hd (Autotune.Tuner.variant_choices b)).v_ir in
+  let t_seq = Cpusim.Haswell.sequential_time ir in
+  let t_omp = Cpusim.Haswell.openmp_time ir in
+  Alcotest.(check bool) "compute bound: omp gains > 3x" true (t_seq /. t_omp > 3.0)
+
+let test_locality_factor_range () =
+  let ir = mm 16 in
+  let f = Cpusim.Haswell.locality_factor (List.hd ir.ops) in
+  Alcotest.(check bool) "in [0.6, 1.0]" true (f >= 0.6 && f <= 1.0)
+
+let test_gflops_of_time () =
+  let ir = mm 16 in
+  Alcotest.(check (float 1e-6)) "definition" 1.0
+    (Cpusim.Haswell.gflops_of_time ir (float_of_int (Tcr.Ir.flops ir) /. 1e9))
+
+(* ---------------- OpenACC models ---------------- *)
+
+let arch = Gpusim.Arch.k20
+
+let test_naive_points_structure () =
+  let ir = mm 32 in
+  let pts = Cpusim.Openacc.points ir Cpusim.Openacc.Naive in
+  List.iter2
+    (fun (p : Tcr.Space.point) (op : Tcr.Ir.op) ->
+      (* naive: outermost parallel loop -> blocks, next -> threads *)
+      Alcotest.(check string) "bx is outermost" (List.hd op.out_indices) p.decomp.bx;
+      Alcotest.(check bool) "no unroll tuning" true (p.unrolls = []))
+    pts ir.ops
+
+let test_naive_slower_than_optimized () =
+  let ir = mm 64 in
+  let naive = Cpusim.Openacc.time arch ir ~reps:100 Cpusim.Openacc.Naive in
+  let space = Tcr.Space.of_ir ir in
+  let good = List.map (fun s -> List.hd (Tcr.Space.enumerate s)) space.op_spaces in
+  let opt = Cpusim.Openacc.time arch ir ~reps:100 (Cpusim.Openacc.Optimized good) in
+  Alcotest.(check bool) "naive pays transfers every run" true (naive > opt)
+
+let test_optimized_strips_unrolls () =
+  let ir = mm 32 in
+  let space = Tcr.Space.of_ir ir in
+  let pts =
+    List.map
+      (fun s ->
+        let p = List.hd (Tcr.Space.enumerate s) in
+        { p with Tcr.Space.unrolls = List.map (fun (l, _) -> (l, 8)) p.unrolls })
+      space.op_spaces
+  in
+  let stripped = Cpusim.Openacc.points ir (Cpusim.Openacc.Optimized pts) in
+  List.iter
+    (fun (p : Tcr.Space.point) ->
+      List.iter (fun (_, u) -> Alcotest.(check int) "unroll reset" 1 u) p.unrolls)
+    stripped
+
+let test_naive_gflops_below_barracuda () =
+  let b = Benchsuite.Suite.lg3 ~p:12 ~elems:64 () in
+  let choices = Autotune.Tuner.variant_choices b in
+  let ir = (List.hd choices).v_ir in
+  let naive = Cpusim.Openacc.gflops arch ir ~reps:100 Cpusim.Openacc.Naive in
+  let rng = Util.Rng.create 1 in
+  let r = Autotune.Tuner.tune ~rng ~arch b in
+  Alcotest.(check bool) "naive well below tuned" true (naive < 0.5 *. r.gflops)
+
+let suite =
+  [
+    ("sequential positive", `Quick, test_sequential_positive);
+    ("sequential scales with work", `Quick, test_sequential_scales_with_work);
+    ("openmp speedup bounds", `Quick, test_openmp_speedup_bounds);
+    ("openmp limited by outer extent", `Quick, test_openmp_limited_by_outer_extent);
+    ("bandwidth-bound kernel (s1)", `Quick, test_bandwidth_bound_kernel);
+    ("compute-bound kernel scales (d1)", `Quick, test_compute_bound_kernel_scales);
+    ("locality factor range", `Quick, test_locality_factor_range);
+    ("gflops of time", `Quick, test_gflops_of_time);
+    ("openacc naive point structure", `Quick, test_naive_points_structure);
+    ("openacc naive slower than optimized", `Quick, test_naive_slower_than_optimized);
+    ("openacc optimized strips unrolls", `Quick, test_optimized_strips_unrolls);
+    ("openacc naive below barracuda", `Slow, test_naive_gflops_below_barracuda);
+  ]

@@ -1,0 +1,101 @@
+(* Tests for common-subexpression elimination across statements. *)
+
+let check_int = Alcotest.(check int)
+
+(* Two statements sharing the subexpression T = A*U (both strength-reduce
+   through the same first contraction when given the same factor pair). *)
+let shared_program () =
+  let src =
+    "dims: i=4 j=4 k=4 l=4\n\
+     X[i j] = Sum([k l], A[i k] * U[k l] * B[l j])\n\
+     Y[i j] = Sum([k l], A[i k] * U[k l] * C[l j])"
+  in
+  let b = Autotune.Tuner.benchmark_of_dsl ~label:"cse" src in
+  let choices = Autotune.Tuner.variant_choices b in
+  (* pick the joint variant where both statements contract A*U first *)
+  List.find
+    (fun (c : Autotune.Tuner.variant_choice) ->
+      let firsts =
+        List.filter
+          (fun (op : Tcr.Ir.op) -> List.map fst op.factors = [ "A"; "U" ])
+          c.v_ir.ops
+      in
+      List.length firsts = 2)
+    choices
+
+let test_cse_eliminates_shared () =
+  let c = shared_program () in
+  let before = List.length c.v_ir.ops in
+  let optimized, stats = Tcr.Cse.optimize c.v_ir in
+  check_int "one op eliminated" 1 stats.eliminated_ops;
+  check_int "ops reduced" (before - 1) (List.length optimized.ops);
+  Alcotest.(check bool) "flops saved" true (stats.saved_flops > 0);
+  Alcotest.(check bool) "fewer flops total" true
+    (Tcr.Ir.flops optimized < Tcr.Ir.flops c.v_ir)
+
+let test_cse_preserves_semantics () =
+  let c = shared_program () in
+  let optimized, _ = Tcr.Cse.optimize c.v_ir in
+  let rng = Util.Rng.create 5 in
+  let inputs =
+    List.filter_map
+      (fun (v : Tcr.Ir.var) ->
+        if v.role = Tcr.Ir.Input then
+          Some (v.name, Tensor.Dense.random rng (Tcr.Ir.var_shape c.v_ir v.name))
+        else None)
+      c.v_ir.vars
+  in
+  let want = Codegen.Exec.run_reference c.v_ir inputs in
+  let got = Codegen.Exec.run_reference optimized inputs in
+  List.iter
+    (fun out ->
+      Alcotest.(check bool) (out ^ " unchanged") true
+        (Tensor.Dense.approx_equal (List.assoc out want) (List.assoc out got)))
+    [ "X"; "Y" ]
+
+let test_cse_noop_when_nothing_shared () =
+  let b = Benchsuite.Suite.lg3 ~p:4 ~elems:2 () in
+  let c = List.hd (Autotune.Tuner.variant_choices b) in
+  let optimized, stats = Tcr.Cse.optimize c.v_ir in
+  check_int "nothing eliminated" 0 stats.eliminated_ops;
+  check_int "ops unchanged" (List.length c.v_ir.ops) (List.length optimized.ops)
+
+let test_cse_keeps_accumulating_outputs () =
+  (* lg3t has three statements accumulating into w with different factors;
+     even if two were identical, accumulation must never be deduplicated *)
+  let src =
+    "dims: e=2 i=3 l=3\n\
+     w[e i] = Sum([l], D[i l] * ur[e l])\n\
+     w[e i] = Sum([l], D[i l] * ur[e l])"
+  in
+  let b = Autotune.Tuner.benchmark_of_dsl ~label:"acc" src in
+  let c = List.hd (Autotune.Tuner.variant_choices b) in
+  let optimized, stats = Tcr.Cse.optimize c.v_ir in
+  (* w is written twice (it doubles the contribution): both writes stay *)
+  check_int "accumulation preserved" 0 stats.eliminated_ops;
+  check_int "both statements kept" 2 (List.length optimized.ops)
+
+let test_cse_key_ignores_out_name () =
+  let op1 : Tcr.Ir.op =
+    { out = "T1"; out_indices = [ "i" ]; factors = [ ("A", [ "i"; "k" ]) ]; loop_order = [ "i"; "k" ] }
+  in
+  let op2 = { op1 with Tcr.Ir.out = "T2" } in
+  Alcotest.(check string) "same key" (Tcr.Cse.op_key op1) (Tcr.Cse.op_key op2)
+
+let test_cse_key_sees_layout () =
+  let op1 : Tcr.Ir.op =
+    { out = "T"; out_indices = [ "i"; "j" ]; factors = [ ("A", [ "i"; "j" ]) ]; loop_order = [ "i"; "j" ] }
+  in
+  let op2 = { op1 with Tcr.Ir.out_indices = [ "j"; "i" ]; loop_order = [ "j"; "i" ] } in
+  Alcotest.(check bool) "different layouts differ" true
+    (Tcr.Cse.op_key op1 <> Tcr.Cse.op_key op2)
+
+let suite =
+  [
+    ("cse eliminates shared subexpression", `Quick, test_cse_eliminates_shared);
+    ("cse preserves semantics", `Quick, test_cse_preserves_semantics);
+    ("cse no-op without sharing", `Quick, test_cse_noop_when_nothing_shared);
+    ("cse keeps accumulating outputs", `Quick, test_cse_keeps_accumulating_outputs);
+    ("cse key ignores output name", `Quick, test_cse_key_ignores_out_name);
+    ("cse key sees layout", `Quick, test_cse_key_sees_layout);
+  ]

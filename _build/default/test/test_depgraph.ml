@@ -1,0 +1,97 @@
+(* Tests for the inter-statement dependence graph and the concurrent-kernel
+   (streams) timing mode. *)
+
+let check_int = Alcotest.(check int)
+let arch = Gpusim.Arch.gtx980
+
+let ir_of (b : Autotune.Tuner.benchmark) =
+  (List.hd (Autotune.Tuner.variant_choices b)).Autotune.Tuner.v_ir
+
+let eqn1_chain_ir () =
+  (* pick a min-flop Eqn.(1) variant: T1 -> T2 -> V is a flow chain *)
+  let set =
+    match
+      Octopi.Variants.of_string "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])"
+    with
+    | [ s ] -> s
+    | _ -> assert false
+  in
+  let v = List.hd (Octopi.Variants.minimal_flop_variants set) in
+  Tcr.Ir.of_variant ~label:"ex" set.contraction v
+
+let test_chain_levels () =
+  let g = Tcr.Depgraph.build (eqn1_chain_ir ()) in
+  Alcotest.(check (array int)) "flow chain" [| 0; 1; 2 |] (Tcr.Depgraph.levels g);
+  check_int "width 1" 1 (Tcr.Depgraph.max_wave_width g);
+  check_int "three waves" 3 (List.length (Tcr.Depgraph.waves g))
+
+let test_lg3_independent () =
+  (* the three gradient statements share only inputs: fully parallel *)
+  let g = Tcr.Depgraph.build (ir_of (Benchsuite.Suite.lg3 ~p:4 ~elems:2 ())) in
+  Alcotest.(check (array int)) "one wave" [| 0; 0; 0 |] (Tcr.Depgraph.levels g);
+  check_int "width 3" 3 (Tcr.Depgraph.max_wave_width g);
+  Alcotest.(check bool) "pairwise independent" true
+    (Tcr.Depgraph.independent g 0 1 && Tcr.Depgraph.independent g 1 2)
+
+let test_lg3t_output_dependences () =
+  (* all three statements accumulate into w: output dependences chain them *)
+  let g = Tcr.Depgraph.build (ir_of (Benchsuite.Suite.lg3t ~p:4 ~elems:2 ())) in
+  Alcotest.(check (array int)) "serialized" [| 0; 1; 2 |] (Tcr.Depgraph.levels g);
+  Alcotest.(check bool) "not independent" false (Tcr.Depgraph.independent g 0 2)
+
+let test_joint_nekbone_structure () =
+  (* lg3's three statements are parallel; each lg3t statement consumes one
+     gradient and they serialize among themselves on w *)
+  let b = Benchsuite.Nekbone.joint_benchmark { Benchsuite.Nekbone.p = 4; elems = 2 } in
+  let g = Tcr.Depgraph.build (ir_of b) in
+  let levels = Tcr.Depgraph.levels g in
+  Alcotest.(check (array int)) "two phases, w chain" [| 0; 0; 0; 1; 2; 3 |] levels;
+  check_int "width 3" 3 (Tcr.Depgraph.max_wave_width g)
+
+let test_independent_is_irreflexive () =
+  let g = Tcr.Depgraph.build (ir_of (Benchsuite.Suite.lg3 ~p:4 ~elems:2 ())) in
+  Alcotest.(check bool) "not independent of itself" false (Tcr.Depgraph.independent g 1 1)
+
+(* ---------------- streams timing ---------------- *)
+
+let points_for ir =
+  let ps = Tcr.Space.of_ir ir in
+  List.map (fun s -> List.hd (Tcr.Space.enumerate s)) ps.op_spaces
+
+let test_streams_never_slower () =
+  List.iter
+    (fun ir ->
+      let pts = points_for ir in
+      let serial = (Gpusim.Gpu.measure arch ir pts).kernel_time_s in
+      let streams = (Gpusim.Gpu.measure_streams arch ir pts).kernel_time_s in
+      Alcotest.(check bool) "streams <= serial" true (streams <= serial +. 1e-12))
+    [ eqn1_chain_ir (); ir_of (Benchsuite.Suite.lg3 ~p:4 ~elems:2 ()) ]
+
+let test_streams_chain_no_gain () =
+  let ir = eqn1_chain_ir () in
+  let pts = points_for ir in
+  let serial = (Gpusim.Gpu.measure arch ir pts).kernel_time_s in
+  let streams = (Gpusim.Gpu.measure_streams arch ir pts).kernel_time_s in
+  Alcotest.(check (float 1e-12)) "a chain cannot overlap" serial streams
+
+let test_streams_saves_launches () =
+  let ir = ir_of (Benchsuite.Suite.lg3 ~p:4 ~elems:2 ()) in
+  let pts = points_for ir in
+  let serial = (Gpusim.Gpu.measure arch ir pts).kernel_time_s in
+  let streams = (Gpusim.Gpu.measure_streams arch ir pts).kernel_time_s in
+  (* three independent kernels collapse three launches into one *)
+  Alcotest.(check (float 1e-9)) "saves two launch latencies"
+    (2.0 *. arch.kernel_launch_us *. 1e-6)
+    (serial -. streams)
+
+let suite =
+  [
+    ("chain levels", `Quick, test_chain_levels);
+    ("lg3 statements independent", `Quick, test_lg3_independent);
+    ("lg3t output dependences", `Quick, test_lg3t_output_dependences);
+    ("joint nekbone structure", `Quick, test_joint_nekbone_structure);
+    ("independent irreflexive", `Quick, test_independent_is_irreflexive);
+    ("streams never slower", `Quick, test_streams_never_slower);
+    ("streams: chain no gain", `Quick, test_streams_chain_no_gain);
+    ("streams: saves launches", `Quick, test_streams_saves_launches);
+  ]

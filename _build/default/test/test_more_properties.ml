@@ -1,0 +1,142 @@
+(* Second batch of property tests: plan algebra, fusion schedules, forest
+   regression quality, decision-pool structure. *)
+
+let arch = Gpusim.Arch.gtx980
+
+let qcheck_plan_flops_lower_bound =
+  (* every strength-reduced plan performs at least the final nest's work
+     and at most the naive evaluation's work *)
+  QCheck.Test.make ~name:"plan flops between output space and naive count" ~count:25
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let e () = 2 + Util.Rng.int rng 4 in
+      let src =
+        Printf.sprintf
+          "dims: i=%d j=%d k=%d l=%d\nY[i j] = Sum([k l], A[i k] * B[k j l] * C[l i])"
+          (e ()) (e ()) (e ()) (e ())
+      in
+      match Octopi.Variants.of_string src with
+      | [ set ] ->
+        let naive = Octopi.Contraction.naive_flops set.contraction in
+        List.for_all
+          (fun (v : Octopi.Variants.variant) -> v.flops > 0 && v.flops <= 2 * naive)
+          set.variants
+      | _ -> false)
+
+let qcheck_schedule_orders_are_permutations =
+  QCheck.Test.make ~name:"fusion loop orders are permutations" ~count:25
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let e () = 2 + Util.Rng.int rng 3 in
+      let src =
+        Printf.sprintf
+          "dims: i=%d j=%d k=%d l=%d m=%d\nY[i j] = Sum([k l m], A[i k] * B[k j l] * C[l m])"
+          (e ()) (e ()) (e ()) (e ()) (e ())
+      in
+      match Octopi.Variants.of_string src with
+      | [ set ] ->
+        List.for_all
+          (fun (v : Octopi.Variants.variant) ->
+            List.for_all2
+              (fun (op : Octopi.Plan.op) order ->
+                List.sort compare order
+                = List.sort compare (Octopi.Fusion.iteration_indices op))
+              v.ops v.schedule.loop_orders)
+          set.variants
+      | _ -> false)
+
+let qcheck_fusion_depths_bounded =
+  QCheck.Test.make ~name:"fusion depths bounded by shared indices" ~count:25
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let e () = 2 + Util.Rng.int rng 3 in
+      let src =
+        Printf.sprintf
+          "dims: i=%d j=%d k=%d l=%d\nY[i j] = Sum([k l], A[i k] * B[k j] * C[l i])"
+          (e ()) (e ()) (e ()) (e ())
+      in
+      match Octopi.Variants.of_string src with
+      | [ set ] ->
+        List.for_all
+          (fun (v : Octopi.Variants.variant) ->
+            let rec pairs = function
+              | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+              | _ -> []
+            in
+            List.for_all2
+              (fun (p, c) depth ->
+                depth >= 0 && depth <= List.length (Octopi.Fusion.fusable_pair p c))
+              (pairs v.ops) v.schedule.fusion_depths)
+          set.variants
+      | _ -> false)
+
+let test_forest_outperforms_mean_on_space_data () =
+  (* fit the surrogate on real (encoded point, simulated time) pairs from a
+     kernel space and check it explains most of the variance in-sample *)
+  let set =
+    match
+      Octopi.Variants.of_string "dims: i=32 j=32 k=32\nC[i j] = Sum([k], A[i k] * B[k j])"
+    with
+    | [ s ] -> s
+    | _ -> assert false
+  in
+  let ir = Tcr.Ir.of_variant ~label:"mm" set.contraction (List.hd set.variants) in
+  let space = Tcr.Space.make ir 0 in
+  let points = Array.of_list (Tcr.Space.enumerate space) in
+  let feats p = 
+    List.map
+      (fun (n, v) ->
+        ( n,
+          match v with
+          | Tcr.Space.Cat c -> Surf.Feature.Cat c
+          | Tcr.Space.Num x -> Surf.Feature.Num x ))
+      (Tcr.Space.features space p)
+  in
+  let schema = Surf.Feature.make_schema (Array.to_list (Array.map feats points)) in
+  let x = Array.map (fun p -> Surf.Feature.encode schema (feats p)) points in
+  let y =
+    Array.map
+      (fun p -> (Gpusim.Gpu.measure arch ir [ p ]).kernel_time_s *. 1e6)
+      points
+  in
+  let forest = Surf.Forest.fit (Util.Rng.create 5) x y in
+  let predicted = Array.to_list (Array.map (Surf.Forest.predict forest) x) in
+  let r2 =
+    Util.Stats.r_squared ~actual:(Array.to_list y) ~predicted
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "in-sample r^2 = %.2f > 0.8" r2)
+    true (r2 > 0.8)
+
+let test_decision_pool_subset_of_parallel () =
+  let set =
+    match
+      Octopi.Variants.of_string
+        "dims: e=8 i=4 j=4 k=4 l=4\nur[e i j k] = Sum([l], D[i l] * u[e l j k])"
+    with
+    | [ s ] -> s
+    | _ -> assert false
+  in
+  let ir = Tcr.Ir.of_variant ~label:"t" set.contraction (List.hd set.variants) in
+  let op = List.hd ir.ops in
+  let pool = Tcr.Decision.decomposition_pool op in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (i ^ " parallel") true (List.mem i op.out_indices))
+    pool;
+  Alcotest.(check bool) "pool nonempty" true (pool <> [])
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_plan_flops_lower_bound;
+      qcheck_schedule_orders_are_permutations;
+      qcheck_fusion_depths_bounded;
+    ]
+  @ [
+      ("forest explains space data", `Slow, test_forest_outperforms_mean_on_space_data);
+      ("decision pool subset of parallel", `Quick, test_decision_pool_subset_of_parallel);
+    ]

@@ -1,0 +1,119 @@
+(* Tests for the Orio / CUDA-CHiLL annotation layer (Figure 2(c)). *)
+
+let contains = Astring_contains.contains
+let check_int = Alcotest.(check int)
+
+let program_space_of src =
+  let set = match Octopi.Variants.of_string src with [ s ] -> s | _ -> assert false in
+  let ir = Tcr.Ir.of_variant ~label:"t" set.contraction (List.hd set.variants) in
+  Tcr.Space.of_ir ir
+
+let eqn1_space () =
+  let src = "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])" in
+  let set = match Octopi.Variants.of_string src with [ s ] -> s | _ -> assert false in
+  let v = List.nth set.variants 14 in
+  Tcr.Space.of_ir (Tcr.Ir.of_variant ~label:"ex" set.contraction v)
+
+let test_annotations_structure () =
+  let a = Tcr.Orio.annotations (eqn1_space ()) in
+  Alcotest.(check bool) "param block" true (contains a "def performance_params {");
+  Alcotest.(check bool) "chill block" true (contains a "/*@ begin CHiLL (");
+  Alcotest.(check bool) "closing" true (contains a ") @*/");
+  check_int "one PERMUTE group per kernel and dim" 3 (Astring_contains.count a "_TX[]");
+  check_int "cuda skeleton per kernel" 3 (Astring_contains.count a "cuda(");
+  Alcotest.(check bool) "registers directive" true (contains a "registers(");
+  Alcotest.(check bool) "unroll references param" true (contains a "unroll(1,\"n\",UF_1_n)")
+
+let test_annotations_figure2c_shape () =
+  (* the paper's kernel shows a single TX candidate and TY/BY domains that
+     include '1'; the same structure appears for our third kernel *)
+  let a = Tcr.Orio.annotations (eqn1_space ()) in
+  Alcotest.(check bool) "third kernel single tx" true
+    (contains a "param PERMUTE_3_TX[] = ['k'];");
+  Alcotest.(check bool) "ty domain has 1" true (contains a "'1'")
+
+let test_recipe_roundtrip () =
+  let ps = eqn1_space () in
+  let rng = Util.Rng.create 7 in
+  for _ = 1 to 20 do
+    let points = List.map (Tcr.Space.sample rng) ps.op_spaces in
+    let text = Tcr.Orio.recipe points in
+    let back = Tcr.Orio.parse_recipe ps text in
+    List.iter2
+      (fun a b ->
+        Alcotest.(check string) "roundtrip" (Tcr.Space.point_key a) (Tcr.Space.point_key b))
+      points back
+  done
+
+let test_recipe_roundtrip_with_permute () =
+  let ps = program_space_of "dims: i=4 j=4 k=4 l=4\nY[i j] = Sum([k l], A[i k l] * B[k j l])" in
+  let rng = Util.Rng.create 9 in
+  for _ = 1 to 20 do
+    let points = List.map (Tcr.Space.sample rng) ps.op_spaces in
+    let back = Tcr.Orio.parse_recipe ps (Tcr.Orio.recipe points) in
+    List.iter2
+      (fun a b ->
+        Alcotest.(check string) "roundtrip" (Tcr.Space.point_key a) (Tcr.Space.point_key b))
+      points back
+  done
+
+let test_recipe_defaults_unrolls () =
+  let ps = program_space_of "C[i j] = Sum([k], A[i k] * B[k j])" in
+  let pts = Tcr.Orio.parse_recipe ps "cuda(1,block={i,1},thread={j,1})" in
+  match pts with
+  | [ p ] ->
+    Alcotest.(check (list (pair string int))) "unroll defaults to 1" [ ("k", 1) ] p.unrolls
+  | _ -> Alcotest.fail "expected one point"
+
+let test_recipe_ignores_registers () =
+  let ps = program_space_of "C[i j] = Sum([k], A[i k] * B[k j])" in
+  let pts =
+    Tcr.Orio.parse_recipe ps "cuda(1,block={i,1},thread={j,1})\nregisters(1,\"k\",\"C\")"
+  in
+  check_int "parsed" 1 (List.length pts)
+
+let expect_parse_error text =
+  let ps = program_space_of "C[i j] = Sum([k], A[i k] * B[k j])" in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Tcr.Orio.parse_recipe ps text);
+       false
+     with Tcr.Orio.Parse_error _ -> true)
+
+let test_recipe_errors () =
+  expect_parse_error "unroll(1,\"k\",4)";  (* no cuda line *)
+  expect_parse_error "cuda(5,block={i,1},thread={j,1})";  (* bad kernel index *)
+  expect_parse_error "cuda(1,block=(i,1),thread={j,1})";  (* malformed braces *)
+  expect_parse_error "frobnicate(1,2,3)" (* unknown directive *)
+
+let test_parsed_recipe_lowers () =
+  (* a parsed recipe must produce a runnable kernel with the same result *)
+  let ps = program_space_of "dims: i=5 j=6 k=7\nC[i j] = Sum([k], A[i k] * B[k j])" in
+  let rng = Util.Rng.create 11 in
+  let points = List.map (Tcr.Space.sample rng) ps.op_spaces in
+  let back = Tcr.Orio.parse_recipe ps (Tcr.Orio.recipe points) in
+  let ir = ps.ir in
+  let inputs =
+    List.filter_map
+      (fun (v : Tcr.Ir.var) ->
+        if v.role = Tcr.Ir.Input then
+          Some (v.name, Tensor.Dense.random rng (Tcr.Ir.var_shape ir v.name))
+        else None)
+      ir.vars
+  in
+  let a = Codegen.Exec.run_program ir points inputs in
+  let b = Codegen.Exec.run_program ir back inputs in
+  Alcotest.(check bool) "same computation" true
+    (Tensor.Dense.approx_equal (List.assoc "C" a) (List.assoc "C" b))
+
+let suite =
+  [
+    ("annotations structure", `Quick, test_annotations_structure);
+    ("annotations match figure 2(c) shape", `Quick, test_annotations_figure2c_shape);
+    ("recipe roundtrip", `Quick, test_recipe_roundtrip);
+    ("recipe roundtrip with permute", `Quick, test_recipe_roundtrip_with_permute);
+    ("recipe defaults unrolls", `Quick, test_recipe_defaults_unrolls);
+    ("recipe ignores registers", `Quick, test_recipe_ignores_registers);
+    ("recipe errors", `Quick, test_recipe_errors);
+    ("parsed recipe lowers and runs", `Quick, test_parsed_recipe_lowers);
+  ]

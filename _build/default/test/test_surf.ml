@@ -1,0 +1,221 @@
+(* Tests for the SURF machine-learning stack: feature binarization,
+   extremely randomized trees, the forest, and the model-based search. *)
+
+let check_int = Alcotest.(check int)
+
+(* ---------------- Feature binarization ---------------- *)
+
+let samples =
+  [
+    [ ("tx", Surf.Feature.Cat "i"); ("u", Surf.Feature.Num 1.0) ];
+    [ ("tx", Surf.Feature.Cat "j"); ("u", Surf.Feature.Num 4.0) ];
+    [ ("tx", Surf.Feature.Cat "m"); ("u", Surf.Feature.Num 2.0) ];
+  ]
+
+let test_schema_dimensions () =
+  let schema = Surf.Feature.make_schema samples in
+  (* three one-hot columns for tx plus one numeric for u *)
+  check_int "columns" 4 (Surf.Feature.dimension schema)
+
+let test_encode_onehot () =
+  let schema = Surf.Feature.make_schema samples in
+  let v = Surf.Feature.encode schema (List.nth samples 1) in
+  let total = Array.fold_left ( +. ) 0.0 (Array.sub v 0 3) in
+  Alcotest.(check (float 1e-9)) "exactly one hot" 1.0 total;
+  Alcotest.(check (float 1e-9)) "numeric passthrough" 4.0 v.(3)
+
+let test_encode_unknown_category () =
+  let schema = Surf.Feature.make_schema samples in
+  let v = Surf.Feature.encode schema [ ("tx", Surf.Feature.Cat "zz"); ("u", Surf.Feature.Num 0.5) ] in
+  Alcotest.(check (float 1e-9)) "no column lights up" 0.0
+    (Array.fold_left ( +. ) 0.0 (Array.sub v 0 3))
+
+let test_column_names () =
+  let schema = Surf.Feature.make_schema samples in
+  let names =
+    List.init (Surf.Feature.dimension schema) (fun i ->
+        Surf.Feature.column_name
+          (match schema with { columns } -> columns.(i)))
+  in
+  Alcotest.(check bool) "onehot name" true (List.mem "tx=i" names);
+  Alcotest.(check bool) "numeric name" true (List.mem "u" names)
+
+(* ---------------- Trees and forest ---------------- *)
+
+let grid_xy f =
+  let xs = ref [] and ys = ref [] in
+  for a = 0 to 9 do
+    for b = 0 to 9 do
+      xs := [| float_of_int a; float_of_int b |] :: !xs;
+      ys := f a b :: !ys
+    done
+  done;
+  (Array.of_list !xs, Array.of_list !ys)
+
+let test_tree_constant () =
+  let rng = Util.Rng.create 3 in
+  let x, _ = grid_xy (fun _ _ -> 5.0) in
+  let y = Array.make (Array.length x) 5.0 in
+  let t = Surf.Tree.fit rng x y in
+  Alcotest.(check (float 1e-9)) "predicts the constant" 5.0 (Surf.Tree.predict t [| 3.0; 3.0 |])
+
+let test_tree_separable () =
+  let rng = Util.Rng.create 4 in
+  let x, y = grid_xy (fun a _ -> if a < 5 then 0.0 else 10.0) in
+  let t = Surf.Tree.fit rng x y in
+  Alcotest.(check bool) "left side low" true (Surf.Tree.predict t [| 1.0; 5.0 |] < 3.0);
+  Alcotest.(check bool) "right side high" true (Surf.Tree.predict t [| 8.0; 5.0 |] > 7.0)
+
+let test_tree_beats_mean () =
+  let rng = Util.Rng.create 5 in
+  let x, y = grid_xy (fun a b -> float_of_int ((a * a) + b)) in
+  let t = Surf.Tree.fit rng x y in
+  let mean = Array.fold_left ( +. ) 0.0 y /. float_of_int (Array.length y) in
+  let err f =
+    let s = ref 0.0 in
+    Array.iteri (fun i xi -> s := !s +. ((f xi -. y.(i)) ** 2.0)) x;
+    !s
+  in
+  Alcotest.(check bool) "fits better than the mean" true
+    (err (Surf.Tree.predict t) < 0.5 *. err (fun _ -> mean))
+
+let test_tree_structure_bounds () =
+  let rng = Util.Rng.create 6 in
+  let x, y = grid_xy (fun a b -> float_of_int (a + b)) in
+  let t = Surf.Tree.fit rng x y in
+  Alcotest.(check bool) "depth bounded" true (Surf.Tree.depth t <= 24);
+  Alcotest.(check bool) "leaves bounded by samples" true (Surf.Tree.num_leaves t <= 100)
+
+let test_tree_empty_rejected () =
+  let rng = Util.Rng.create 6 in
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Surf.Tree.fit rng [||] [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_forest_interpolates () =
+  let rng = Util.Rng.create 7 in
+  let x, y = grid_xy (fun a b -> float_of_int (a + b)) in
+  let f = Surf.Forest.fit rng x y in
+  (* ensemble mean at a training point should be close to the target *)
+  let p = Surf.Forest.predict f [| 4.0; 4.0 |] in
+  Alcotest.(check bool) "close to 8" true (abs_float (p -. 8.0) < 2.0)
+
+let test_forest_variance_positive_off_data () =
+  let rng = Util.Rng.create 8 in
+  let x, y = grid_xy (fun a b -> float_of_int ((a * 13) + b)) in
+  let f = Surf.Forest.fit rng x y in
+  Alcotest.(check bool) "spread nonnegative" true (Surf.Forest.predict_std f [| 4.5; 4.5 |] >= 0.0)
+
+(* ---------------- Search ---------------- *)
+
+(* A deterministic objective over a finite pool with a unique optimum. *)
+let pool_100 = Array.init 100 (fun i -> i)
+
+let objective i =
+  let x = float_of_int i in
+  ((x -. 63.0) ** 2.0) +. (10.0 *. sin x *. sin x)
+
+let encode i = [| float_of_int (i mod 10); float_of_int (i / 10) |]
+
+let test_exhaustive_finds_min () =
+  let r = Surf.Search.exhaustive ~pool:pool_100 ~eval:objective in
+  check_int "optimum" 63 r.best.config;
+  check_int "evaluated everything" 100 r.evaluations
+
+let test_random_respects_budget () =
+  let rng = Util.Rng.create 11 in
+  let r = Surf.Search.random_search rng ~pool:pool_100 ~eval:objective ~max_evals:30 in
+  check_int "thirty evals" 30 r.evaluations;
+  Alcotest.(check bool) "best among evaluated" true
+    (List.exists (fun (e : int Surf.Search.evaluation) -> e.config = r.best.config) r.history)
+
+let test_surf_budget_and_quality () =
+  let rng = Util.Rng.create 12 in
+  let cfg = { Surf.Search.default_config with max_evals = 40; batch_size = 8 } in
+  let r = Surf.Search.surf ~config:cfg rng ~pool:pool_100 ~encode ~eval:objective in
+  check_int "respects nmax" 40 r.evaluations;
+  (* the model should find something near the basin around 63 *)
+  Alcotest.(check bool) "near optimum" true (abs_float (float_of_int (r.best.config - 63)) <= 5.0)
+
+let test_surf_small_pool () =
+  let rng = Util.Rng.create 13 in
+  let pool = Array.init 5 (fun i -> i) in
+  let r = Surf.Search.surf rng ~pool ~encode ~eval:objective in
+  check_int "evaluates whole pool" 5 r.evaluations
+
+let test_surf_beats_random_on_structured () =
+  (* averaged over seeds, SURF's best should be at least as good as random
+     search with the same budget on a smooth objective *)
+  let budget = 25 in
+  let trials = 10 in
+  let surf_wins = ref 0 in
+  for seed = 1 to trials do
+    let cfg = { Surf.Search.default_config with max_evals = budget; batch_size = 5 } in
+    let rs =
+      Surf.Search.random_search (Util.Rng.create (seed * 2)) ~pool:pool_100 ~eval:objective
+        ~max_evals:budget
+    in
+    let ss =
+      Surf.Search.surf ~config:cfg (Util.Rng.create ((seed * 2) + 1)) ~pool:pool_100 ~encode
+        ~eval:objective
+    in
+    if ss.best.objective <= rs.best.objective then incr surf_wins
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "surf >= random in most trials (%d/%d)" !surf_wins trials)
+    true
+    (!surf_wins >= 6)
+
+let test_convergence_curve_monotone () =
+  let rng = Util.Rng.create 14 in
+  let r = Surf.Search.random_search rng ~pool:pool_100 ~eval:objective ~max_evals:20 in
+  let curve = Surf.Search.convergence_curve r in
+  check_int "length" 20 (List.length curve);
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-increasing" true (non_increasing curve)
+
+let test_surf_categorical_problem () =
+  (* binarized categorical search: find the best (tx, unroll) combo *)
+  let pool =
+    Array.of_list
+      (List.concat_map
+         (fun tx -> List.map (fun u -> (tx, u)) [ 1; 2; 4; 8 ])
+         [ "i"; "j"; "k"; "l"; "m" ])
+  in
+  let eval (tx, u) =
+    (if tx = "k" then 1.0 else 10.0) +. abs_float (float_of_int u -. 4.0)
+  in
+  let feats (tx, u) = [ ("tx", Surf.Feature.Cat tx); ("u", Surf.Feature.Num (float_of_int u)) ] in
+  let schema = Surf.Feature.make_schema (Array.to_list (Array.map feats pool)) in
+  let encode c = Surf.Feature.encode schema (feats c) in
+  let cfg = { Surf.Search.default_config with max_evals = 12; batch_size = 4 } in
+  let r = Surf.Search.surf ~config:cfg (Util.Rng.create 15) ~pool ~encode ~eval in
+  let tx, _ = r.best.config in
+  Alcotest.(check string) "found the right category" "k" tx
+
+let suite =
+  [
+    ("schema dimensions", `Quick, test_schema_dimensions);
+    ("encode one-hot", `Quick, test_encode_onehot);
+    ("encode unknown category", `Quick, test_encode_unknown_category);
+    ("column names", `Quick, test_column_names);
+    ("tree constant", `Quick, test_tree_constant);
+    ("tree separable", `Quick, test_tree_separable);
+    ("tree beats mean", `Quick, test_tree_beats_mean);
+    ("tree structure bounds", `Quick, test_tree_structure_bounds);
+    ("tree empty rejected", `Quick, test_tree_empty_rejected);
+    ("forest interpolates", `Quick, test_forest_interpolates);
+    ("forest spread nonnegative", `Quick, test_forest_variance_positive_off_data);
+    ("exhaustive finds min", `Quick, test_exhaustive_finds_min);
+    ("random respects budget", `Quick, test_random_respects_budget);
+    ("surf respects budget and converges", `Quick, test_surf_budget_and_quality);
+    ("surf small pool", `Quick, test_surf_small_pool);
+    ("surf beats random on structured", `Slow, test_surf_beats_random_on_structured);
+    ("convergence curve monotone", `Quick, test_convergence_curve_monotone);
+    ("surf categorical problem", `Quick, test_surf_categorical_problem);
+  ]

@@ -1,0 +1,159 @@
+(* Tests for the GEMM library model and the TTGT baseline. *)
+
+let check_int = Alcotest.(check int)
+let arch = Gpusim.Arch.gtx980
+
+let ir_of_dsl src =
+  let set = match Octopi.Variants.of_string src with [ s ] -> s | _ -> assert false in
+  Tcr.Ir.of_variant ~label:"t" set.contraction (List.hd set.variants)
+
+(* ---------------- Gemm model ---------------- *)
+
+let test_gemm_flops () =
+  let a = Gpusim.Gemm.analyze arch ~m:64 ~n:64 ~k:64 ~batch:2 in
+  check_int "2 m n k batch" (2 * 64 * 64 * 64 * 2) a.flops
+
+let test_gemm_large_beats_small () =
+  let small = Gpusim.Gemm.analyze arch ~m:12 ~n:12 ~k:12 ~batch:1 in
+  let large = Gpusim.Gemm.analyze arch ~m:2048 ~n:2048 ~k:2048 ~batch:1 in
+  Alcotest.(check bool) "efficiency grows with size" true
+    (Gpusim.Gemm.gflops large > 20.0 *. Gpusim.Gemm.gflops small)
+
+let test_gemm_utilization_bounds () =
+  List.iter
+    (fun (m, n, k) ->
+      let a = Gpusim.Gemm.analyze arch ~m ~n ~k ~batch:1 in
+      Alcotest.(check bool) "utilization in (0,1]" true
+        (a.utilization > 0.0 && a.utilization <= 1.0);
+      Alcotest.(check bool) "k efficiency in (0,1)" true
+        (a.k_efficiency > 0.0 && a.k_efficiency < 1.0))
+    [ (12, 12, 12); (64, 64, 64); (1024, 1024, 8) ]
+
+let test_gemm_small_k_penalty () =
+  let k8 = Gpusim.Gemm.analyze arch ~m:1024 ~n:1024 ~k:8 ~batch:1 in
+  let k512 = Gpusim.Gemm.analyze arch ~m:1024 ~n:1024 ~k:512 ~batch:1 in
+  Alcotest.(check bool) "short K runs below long K" true
+    (Gpusim.Gemm.gflops k8 < Gpusim.Gemm.gflops k512)
+
+let test_gemm_rejects_bad_dims () =
+  Alcotest.(check bool) "zero dim" true
+    (try
+       ignore (Gpusim.Gemm.analyze arch ~m:0 ~n:1 ~k:1 ~batch:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gemm_batch_fills_chip () =
+  (* a tiny GEMM batched 512 times uses the chip far better than alone *)
+  let single = Gpusim.Gemm.analyze arch ~m:12 ~n:12 ~k:12 ~batch:1 in
+  let batched = Gpusim.Gemm.analyze arch ~m:12 ~n:12 ~k:12 ~batch:512 in
+  Alcotest.(check bool) "batching raises utilization" true
+    (batched.utilization > single.utilization)
+
+(* ---------------- TTGT mapping ---------------- *)
+
+let test_ttgt_matmul_mapping () =
+  let ir = ir_of_dsl "dims: i=32 j=48 k=64\nC[i j] = Sum([k], A[i k] * B[k j])" in
+  let r = Autotune.Ttgt.analyze arch ir in
+  match r.mappings with
+  | [ m ] ->
+    check_int "M" 32 m.gemm.m;
+    check_int "N" 48 m.gemm.n;
+    check_int "K" 64 m.gemm.k;
+    check_int "no batch" 1 m.gemm.batch;
+    Alcotest.(check (list string)) "matmul needs no transposes" [] m.transposes
+  | _ -> Alcotest.fail "expected one mapping"
+
+let test_ttgt_lg3_mapping () =
+  (* lg3's first statement, ur[e i j k] = D[i l] u[e l j k], maps to one
+     GEMM with M = i, K = l and the batch folded into N = e x j x k - the
+     matrix-multiply recast Nekbone itself uses - at the price of
+     transposing u (l is not outermost in its layout) *)
+  let b = Benchsuite.Suite.lg3 ~p:12 ~elems:64 () in
+  let c = List.hd (Autotune.Tuner.variant_choices b) in
+  let r = Autotune.Ttgt.analyze arch c.v_ir in
+  let m1 = List.hd r.mappings in
+  Alcotest.(check (list string)) "no true batch index" [] m1.b_indices;
+  check_int "M = i" 12 m1.gemm.m;
+  check_int "N = e*j*k" (64 * 12 * 12) m1.gemm.n;
+  check_int "K = l" 12 m1.gemm.k;
+  Alcotest.(check bool) "u needs a transpose" true (List.mem "u" m1.transposes)
+
+let test_ttgt_transpose_detection () =
+  (* B referenced as B[j k] forces a transpose for the (K, N) layout *)
+  let ir = ir_of_dsl "dims: i=16 j=16 k=16\nC[i j] = Sum([k], A[i k] * B[j k])" in
+  let r = Autotune.Ttgt.analyze arch ir in
+  let m = List.hd r.mappings in
+  Alcotest.(check (list string)) "B transposed" [ "B" ] m.transposes
+
+let test_ttgt_transposes_cost_time () =
+  let plain = ir_of_dsl "dims: i=64 j=64 k=64\nC[i j] = Sum([k], A[i k] * B[k j])" in
+  let transposed = ir_of_dsl "dims: i=64 j=64 k=64\nC[i j] = Sum([k], A[i k] * B[j k])" in
+  let t1 = (Autotune.Ttgt.analyze arch plain).kernel_time_s in
+  let t2 = (Autotune.Ttgt.analyze arch transposed).kernel_time_s in
+  Alcotest.(check bool) "transpose adds time" true (t2 > t1)
+
+let test_ttgt_rejects_nonbinary () =
+  let ir =
+    {
+      Tcr.Ir.label = "t";
+      extents = [ ("i", 4); ("j", 4); ("k", 4) ];
+      vars =
+        [
+          { Tcr.Ir.name = "A"; dims = [ "i"; "k" ]; role = Tcr.Ir.Input };
+          { Tcr.Ir.name = "B"; dims = [ "k"; "j" ]; role = Tcr.Ir.Input };
+          { Tcr.Ir.name = "D"; dims = [ "i"; "j" ]; role = Tcr.Ir.Input };
+          { Tcr.Ir.name = "C"; dims = [ "i"; "j" ]; role = Tcr.Ir.Output };
+        ];
+      ops =
+        [
+          {
+            Tcr.Ir.out = "C";
+            out_indices = [ "i"; "j" ];
+            factors = [ ("A", [ "i"; "k" ]); ("B", [ "k"; "j" ]); ("D", [ "i"; "j" ]) ];
+            loop_order = [ "i"; "j"; "k" ];
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "ternary rejected" true
+    (try
+       ignore (Autotune.Ttgt.analyze arch ir);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ttgt_loses_on_small_tensors () =
+  (* the paper's motivation: on lg3, the direct tuned kernels beat TTGT *)
+  let b = Benchsuite.Suite.lg3 () in
+  let tuned =
+    Autotune.Tuner.tune ~rng:(Util.Rng.create 3) ~arch b
+  in
+  let t_ttgt = Autotune.Ttgt.best_time arch b in
+  Alcotest.(check bool) "Barracuda faster than the library path" true
+    (tuned.best_report.kernel_time_s < t_ttgt)
+
+let test_ttgt_wins_on_large_matmul () =
+  let b =
+    Autotune.Tuner.benchmark_of_dsl ~label:"mm"
+      "dims: i=512 j=512 k=512\nC[i j] = Sum([k], A[i k] * B[k j])"
+  in
+  let tuned = Autotune.Tuner.tune ~rng:(Util.Rng.create 3) ~arch b in
+  let t_ttgt = Autotune.Ttgt.best_time arch b in
+  Alcotest.(check bool) "library wins at size" true
+    (t_ttgt < tuned.best_report.kernel_time_s)
+
+let suite =
+  [
+    ("gemm flops", `Quick, test_gemm_flops);
+    ("gemm large beats small", `Quick, test_gemm_large_beats_small);
+    ("gemm utilization bounds", `Quick, test_gemm_utilization_bounds);
+    ("gemm small-k penalty", `Quick, test_gemm_small_k_penalty);
+    ("gemm rejects bad dims", `Quick, test_gemm_rejects_bad_dims);
+    ("gemm batching fills chip", `Quick, test_gemm_batch_fills_chip);
+    ("ttgt matmul mapping", `Quick, test_ttgt_matmul_mapping);
+    ("ttgt lg3 mapping", `Quick, test_ttgt_lg3_mapping);
+    ("ttgt transpose detection", `Quick, test_ttgt_transpose_detection);
+    ("ttgt transposes cost time", `Quick, test_ttgt_transposes_cost_time);
+    ("ttgt rejects non-binary ops", `Quick, test_ttgt_rejects_nonbinary);
+    ("ttgt loses on small tensors", `Slow, test_ttgt_loses_on_small_tensors);
+    ("ttgt wins on large matmul", `Slow, test_ttgt_wins_on_large_matmul);
+  ]

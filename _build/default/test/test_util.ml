@@ -1,0 +1,190 @@
+(* Unit and property tests for the util library. *)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Util.Rng.create 7 and b = Util.Rng.create 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Util.Rng.bits a) (Util.Rng.bits b)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Util.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Util.Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Util.Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Util.Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.float_range rng (-2.5) 3.5 in
+    Alcotest.(check bool) "in range" true (v >= -2.5 && v < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let rng = Util.Rng.create 3 in
+  let a = Util.Rng.split rng in
+  let b = Util.Rng.split rng in
+  (* different streams should diverge almost immediately *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Util.Rng.bits a = Util.Rng.bits b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_copy () =
+  let rng = Util.Rng.create 4 in
+  ignore (Util.Rng.bits rng);
+  let dup = Util.Rng.copy rng in
+  check_int "copy continues identically" (Util.Rng.bits rng) (Util.Rng.bits dup)
+
+let test_gaussian_moments () =
+  let rng = Util.Rng.create 5 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Util.Rng.gaussian rng) in
+  let mean = Util.Stats.mean xs in
+  let std = Util.Stats.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (abs_float mean < 0.05);
+  Alcotest.(check bool) "std near 1" true (abs_float (std -. 1.0) < 0.05)
+
+let test_shuffle_is_permutation () =
+  let rng = Util.Rng.create 6 in
+  let l = List.init 30 (fun i -> i) in
+  let s = Util.Rng.shuffle rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare s)
+
+let test_sample_without_replacement () =
+  let rng = Util.Rng.create 7 in
+  let arr = Array.init 20 (fun i -> i) in
+  let s = Util.Rng.sample_without_replacement rng 10 arr in
+  check_int "ten elements" 10 (Array.length s);
+  let sorted = List.sort_uniq compare (Array.to_list s) in
+  check_int "all distinct" 10 (List.length sorted)
+
+let test_sample_too_many () =
+  let rng = Util.Rng.create 7 in
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Util.Rng.sample_without_replacement rng 5 [| 1; 2 |]))
+
+let test_pick () =
+  let rng = Util.Rng.create 8 in
+  for _ = 1 to 100 do
+    let v = Util.Rng.pick rng [| 10; 20; 30 |] in
+    Alcotest.(check bool) "member" true (List.mem v [ 10; 20; 30 ])
+  done
+
+(* ---------------- Combinat ---------------- *)
+
+let test_factorial () =
+  check_int "0!" 1 (Util.Combinat.factorial 0);
+  check_int "5!" 120 (Util.Combinat.factorial 5)
+
+let test_permutations_count () =
+  check_int "3 elements" 6 (List.length (Util.Combinat.permutations [ 1; 2; 3 ]));
+  check_int "4 elements" 24 (List.length (Util.Combinat.permutations [ 1; 2; 3; 4 ]))
+
+let test_permutations_distinct () =
+  let ps = Util.Combinat.permutations [ "a"; "b"; "c" ] in
+  check_int "all distinct" 6 (List.length (List.sort_uniq compare ps))
+
+let test_cartesian () =
+  let c = Util.Combinat.cartesian [ [ 1; 2 ]; [ 3 ]; [ 4; 5; 6 ] ] in
+  check_int "product size" 6 (List.length c);
+  Alcotest.(check (list int)) "first row" [ 1; 3; 4 ] (List.hd c)
+
+let test_cartesian_empty_domain () =
+  check_int "empty domain kills product" 0
+    (List.length (Util.Combinat.cartesian [ [ 1 ]; []; [ 2 ] ]))
+
+let test_choose () =
+  check_int "C(5,2)" 10 (List.length (Util.Combinat.choose 2 [ 1; 2; 3; 4; 5 ]));
+  check_int "C(4,4)" 1 (List.length (Util.Combinat.choose 4 [ 1; 2; 3; 4 ]));
+  check_int "C(3,5)" 0 (List.length (Util.Combinat.choose 5 [ 1; 2; 3 ]))
+
+let test_subsets () =
+  check_int "nonempty subsets of 3" 7 (List.length (Util.Combinat.subsets [ 1; 2; 3 ]))
+
+let test_pairs () =
+  let ps = Util.Combinat.pairs [ 1; 2; 3; 4 ] in
+  check_int "C(4,2)" 6 (List.length ps);
+  Alcotest.(check bool) "ordered pairs" true (List.mem (1, 4) ps && not (List.mem (4, 1) ps))
+
+(* ---------------- Stats ---------------- *)
+
+let test_mean_median () =
+  check_float "mean" 2.5 (Util.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median even" 2.5 (Util.Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median odd" 3.0 (Util.Stats.median [ 5.0; 1.0; 3.0 ])
+
+let test_variance () =
+  (* population variance of {2,4} is 1 *)
+  check_float "variance" 1.0 (Util.Stats.variance [ 2.0; 4.0 ]);
+  check_float "stddev" 1.0 (Util.Stats.stddev [ 2.0; 4.0 ]);
+  check_float "singleton" 0.0 (Util.Stats.variance [ 5.0 ])
+
+let test_min_max () =
+  check_float "min" (-2.0) (Util.Stats.min_list [ 3.0; -2.0; 1.0 ]);
+  check_float "max" 3.0 (Util.Stats.max_list [ 3.0; -2.0; 1.0 ])
+
+let test_argmin () =
+  check_int "argmin" 1 (Util.Stats.argmin (fun x -> x *. x) [ 3.0; 0.5; -2.0 ])
+
+let test_r_squared () =
+  let actual = [ 1.0; 2.0; 3.0 ] in
+  check_float "perfect fit" 1.0 (Util.Stats.r_squared ~actual ~predicted:actual);
+  let mean_pred = [ 2.0; 2.0; 2.0 ] in
+  check_float "mean predictor" 0.0 (Util.Stats.r_squared ~actual ~predicted:mean_pred)
+
+(* ---------------- Table ---------------- *)
+
+let test_table_render () =
+  let t = Util.Table.create ~title:"T" [ [ "a"; "bb" ]; [ "ccc"; "d" ] ] in
+  let s = Util.Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check bool) "has rule" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.trim l <> "" &&
+       String.for_all (fun c -> c = '-' || c = ' ') (String.trim l)))
+
+let test_cell_f () =
+  Alcotest.(check string) "two digits" "3.14" (Util.Table.cell_f 3.14159);
+  Alcotest.(check string) "nan" "n/a" (Util.Table.cell_f nan)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng int rejects non-positive", `Quick, test_rng_int_rejects_nonpositive);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng copy", `Quick, test_rng_copy);
+    ("gaussian moments", `Quick, test_gaussian_moments);
+    ("shuffle is permutation", `Quick, test_shuffle_is_permutation);
+    ("sample without replacement", `Quick, test_sample_without_replacement);
+    ("sample too many raises", `Quick, test_sample_too_many);
+    ("pick member", `Quick, test_pick);
+    ("factorial", `Quick, test_factorial);
+    ("permutations count", `Quick, test_permutations_count);
+    ("permutations distinct", `Quick, test_permutations_distinct);
+    ("cartesian product", `Quick, test_cartesian);
+    ("cartesian empty domain", `Quick, test_cartesian_empty_domain);
+    ("choose", `Quick, test_choose);
+    ("subsets", `Quick, test_subsets);
+    ("pairs", `Quick, test_pairs);
+    ("mean and median", `Quick, test_mean_median);
+    ("variance and stddev", `Quick, test_variance);
+    ("min max", `Quick, test_min_max);
+    ("argmin", `Quick, test_argmin);
+    ("r squared", `Quick, test_r_squared);
+    ("table render", `Quick, test_table_render);
+    ("table cell formatting", `Quick, test_cell_f);
+  ]
