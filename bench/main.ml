@@ -31,6 +31,7 @@ let run_ablation () = timed "ablation" (fun () -> print_table (Tables.ablation (
 let run_modelcheck () = timed "modelcheck" (fun () -> print_table (Tables.modelcheck ()))
 let run_motivation () = timed "motivation" (fun () -> print_table (Tables.motivation ()))
 let run_sweep () = timed "sweep" (fun () -> print_table (Tables.sweep ()))
+let run_service () = timed "service" (fun () -> Service_bench.run ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure, each running a
@@ -131,6 +132,7 @@ let run_all () =
   run_modelcheck ();
   run_motivation ();
   run_sweep ();
+  run_service ();
   run_bechamel ()
 
 let () =
@@ -147,8 +149,9 @@ let () =
   | [| _; "modelcheck" |] -> run_modelcheck ()
   | [| _; "motivation" |] -> run_motivation ()
   | [| _; "sweep" |] -> run_sweep ()
+  | [| _; "service" |] -> run_service ()
   | [| _; "bechamel" |] -> run_bechamel ()
   | _ ->
     prerr_endline
-      "usage: main.exe [claims|space|table2|table3|table4|figure3|surf-vs-brute|ablation|modelcheck|motivation|sweep|bechamel]";
+      "usage: main.exe [claims|space|table2|table3|table4|figure3|surf-vs-brute|ablation|modelcheck|motivation|sweep|service|bechamel]";
     exit 2

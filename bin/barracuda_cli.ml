@@ -7,6 +7,8 @@
      tune      run the full pipeline (SURF autotuning) and report
      cuda      tune and emit the optimized CUDA translation unit
      c         emit sequential C or OpenACC renderings
+     batch     serve many requests via the tuning service (cache + domains)
+     stats     inspect a persistent tuning-cache directory
      archs     list the simulated GPU architectures
 
    The tensor program is read from a file, or from the -e EXPR option. *)
@@ -336,6 +338,98 @@ let cmd_inspect =
        ~doc:"Tune and print the per-kernel performance-model breakdown.")
     Term.(const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg)
 
+(* ---------------- batch (tuning service) ---------------- *)
+
+let cmd_batch =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Tensor program files (one request each).")
+  in
+  let exprs_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Inline tensor program (repeatable).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for parallel evaluation (default 1).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persistent tuning-cache directory (created if missing).")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print service metrics after the batch.")
+  in
+  let run () files exprs arch seed evals domains cache_dir want_stats =
+    let requests =
+      List.map
+        (fun path ->
+          let ic = open_in_bin path in
+          let src = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          { Service.Engine.label = Filename.remove_extension (Filename.basename path); src })
+        files
+      @ List.mapi (fun i src -> { Service.Engine.label = Printf.sprintf "expr%d" (i + 1); src }) exprs
+    in
+    if requests = [] then failwith "no requests: give program files and/or -e EXPR";
+    let config =
+      { Service.Engine.default_config with arch; domains; max_evals = evals; seed; cache_dir }
+    in
+    let svc = Service.Engine.create ~config () in
+    let responses = Service.Engine.batch svc requests in
+    Printf.printf "%-16s %-14s %-12s %10s %10s\n" "request" "served" "key" "gflops" "wall";
+    List.iter
+      (fun (r : Service.Engine.response) ->
+        Printf.printf "%-16s %-14s %-12s %10.2f %9.3fs\n" r.label
+          (Service.Engine.served_name r.served)
+          (String.sub r.key 0 12) r.result.gflops r.wall_s)
+      responses;
+    if want_stats then begin
+      print_newline ();
+      print_string (Service.Engine.stats_report svc)
+    end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Serve a batch of tuning requests: canonical-cache lookup, deduplication, \
+          multi-domain tuning of the cold remainder.")
+    Term.(
+      const run $ setup_logs $ files_arg $ exprs_arg $ arch_arg $ seed_arg $ evals_arg
+      $ domains_arg $ cache_arg $ stats_flag)
+
+(* ---------------- stats (cache inventory) ---------------- *)
+
+let cmd_stats =
+  let dir_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Tuning-cache directory to inspect.")
+  in
+  let run () dir =
+    let inv = Service.Tuning_cache.inventory ~dir in
+    Printf.printf "cache %s: %d entries, %d corrupt\n" dir
+      (List.length inv.entries) (List.length inv.corrupt_files);
+    Printf.printf "%-14s %-14s %-12s %10s\n" "key" "label" "arch" "gflops";
+    List.iter
+      (fun (e : Service.Tuning_cache.entry) ->
+        Printf.printf "%-14s %-14s %-12s %10.2f\n" (String.sub e.key 0 12)
+          e.saved.label e.saved.arch_name e.saved.gflops)
+      inv.entries;
+    List.iter
+      (fun (file, reason) -> Printf.printf "corrupt: %s (%s)\n" file reason)
+      inv.corrupt_files
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Inspect a persistent tuning-cache directory.")
+    Term.(const run $ setup_logs $ dir_arg)
+
 (* ---------------- archs ---------------- *)
 
 let cmd_archs =
@@ -357,4 +451,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
           [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
-            cmd_driver; cmd_c; cmd_inspect; cmd_archs ]))
+            cmd_driver; cmd_c; cmd_inspect; cmd_batch; cmd_stats; cmd_archs ]))

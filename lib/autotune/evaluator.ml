@@ -25,21 +25,66 @@ let create ?(reps = 100) arch =
 let key (ir : Tcr.Ir.t) points =
   ir.label ^ "|" ^ String.concat "|" (List.map Tcr.Space.point_key points)
 
-let measure t (ir : Tcr.Ir.t) points =
+(* Merge a freshly computed report into the memo table and charge the
+   modeled search cost of one real evaluation. *)
+let record t (ir : Tcr.Ir.t) points report =
   let k = key ir points in
-  match Hashtbl.find_opt t.cache k with
-  | Some report -> report
-  | None ->
-    let report = Gpusim.Gpu.measure t.arch ir points in
+  if not (Hashtbl.mem t.cache k) then begin
     Hashtbl.add t.cache k report;
     t.evaluations <- t.evaluations + 1;
     t.search_seconds <-
       t.search_seconds
       +. (compile_seconds_per_kernel *. float_of_int (List.length ir.ops))
       +. harness_seconds
-      +. min eval_timeout_s (Gpusim.Gpu.time_with_reps report ~reps:t.reps);
+      +. min eval_timeout_s (Gpusim.Gpu.time_with_reps report ~reps:t.reps)
+  end
+
+let measure t (ir : Tcr.Ir.t) points =
+  match Hashtbl.find_opt t.cache (key ir points) with
+  | Some report -> report
+  | None ->
+    let report = Gpusim.Gpu.measure t.arch ir points in
+    record t ir points report;
     report
+
+(* Batch measurement with a pluggable executor. Cached entries are served
+   from the memo table; the rest become pure thunks (Gpusim.Gpu.measure
+   touches no shared state) handed to [map] - e.g. a multi-domain
+   scheduler - and merged back in input order, so accounting and results
+   are bit-identical to the sequential path. *)
+let measure_batch t ~map items =
+  let slots =
+    List.map
+      (fun (ir, points) -> (ir, points, Hashtbl.find_opt t.cache (key ir points)))
+      items
+  in
+  let thunks =
+    List.filter_map
+      (function
+        | ir, points, None -> Some (fun () -> Gpusim.Gpu.measure t.arch ir points)
+        | _ -> None)
+      slots
+  in
+  let computed = ref (map thunks) in
+  List.map
+    (fun (ir, points, cached) ->
+      match cached with
+      | Some report -> report
+      | None ->
+        let report =
+          match !computed with
+          | r :: rest ->
+            computed := rest;
+            r
+          | [] -> invalid_arg "Evaluator.measure_batch: executor dropped results"
+        in
+        record t ir points report;
+        report)
+    slots
 
 (* The search objective: simulated kernel time of one evaluation (transfers
    are variant-independent, so they do not influence the choice). *)
 let objective t ir points = (measure t ir points).Gpusim.Gpu.kernel_time_s
+
+let objective_batch t ~map items =
+  List.map (fun (r : Gpusim.Gpu.report) -> r.kernel_time_s) (measure_batch t ~map items)

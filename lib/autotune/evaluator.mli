@@ -24,6 +24,28 @@ val key : Tcr.Ir.t -> Tcr.Space.point list -> string
 
 val measure : t -> Tcr.Ir.t -> Tcr.Space.point list -> Gpusim.Gpu.report
 
+(** Merge an externally computed report, charging the modeled search cost
+    unless the pair is already memoized. *)
+val record : t -> Tcr.Ir.t -> Tcr.Space.point list -> Gpusim.Gpu.report -> unit
+
+(** Measure a batch through a pluggable executor: memoized pairs are
+    served from the cache, the rest become pure thunks (safe to run in
+    parallel domains) passed to [map], whose results must come back in
+    input order. Results and cost accounting are bit-identical to calling
+    {!measure} sequentially on each item. *)
+val measure_batch :
+  t ->
+  map:((unit -> Gpusim.Gpu.report) list -> Gpusim.Gpu.report list) ->
+  (Tcr.Ir.t * Tcr.Space.point list) list ->
+  Gpusim.Gpu.report list
+
 (** The search objective: simulated kernel time of one evaluation
     (transfers are variant-independent and excluded). *)
 val objective : t -> Tcr.Ir.t -> Tcr.Space.point list -> float
+
+(** {!measure_batch} mapped to objectives. *)
+val objective_batch :
+  t ->
+  map:((unit -> Gpusim.Gpu.report) list -> Gpusim.Gpu.report list) ->
+  (Tcr.Ir.t * Tcr.Space.point list) list ->
+  float list

@@ -110,7 +110,7 @@ let parse text =
 (* Reconstruct the tuned program from a benchmark definition and a saved
    artifact: pick the recorded variant choice and parse the recipe back
    into search points. *)
-let restore (b : Tuner.benchmark) (s : saved) =
+let choice_and_points (b : Tuner.benchmark) (s : saved) =
   if s.label <> b.label then
     err "artifact is for %S, benchmark is %S" s.label b.label;
   let choices = Tuner.variant_choices b in
@@ -125,7 +125,35 @@ let restore (b : Tuner.benchmark) (s : saved) =
         (List.length choices)
   in
   let points = Tcr.Orio.parse_recipe choice.spaces s.recipe in
+  (choices, choice, points)
+
+let restore (b : Tuner.benchmark) (s : saved) =
+  let _, choice, points = choice_and_points b s in
   (choice.v_ir, points)
+
+(* Rebuild a full {!Tuner.result} from an artifact: the search fields are
+   empty (no search ran), but the winning candidate is re-measured so
+   summaries and code emission work exactly as after a live tune. This is
+   the cache-hit fast path of the tuning service - one measurement instead
+   of a whole search. *)
+let restore_result ?(reps = 100) ~arch (b : Tuner.benchmark) (s : saved) =
+  let choices, choice, points = choice_and_points b s in
+  let best = Tuner.candidate_of choice points in
+  let best_report = Gpusim.Gpu.measure arch best.ir best.points in
+  {
+    Tuner.benchmark = b;
+    arch;
+    best;
+    best_report;
+    time_per_eval_s = Gpusim.Gpu.amortized_time best_report ~reps;
+    gflops = Gpusim.Gpu.gflops best_report ~reps;
+    search_seconds = 0.0;
+    evaluations = 0;
+    pool_size = 0;
+    total_space = Tuner.total_space choices;
+    variant_count = List.length choices;
+    convergence = [];
+  }
 
 let load_file (b : Tuner.benchmark) path =
   let ic = open_in_bin path in

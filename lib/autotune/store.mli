@@ -31,4 +31,10 @@ val parse : string -> saved
     benchmark definition. Raises {!Error} on label or variant mismatch. *)
 val restore : Tuner.benchmark -> saved -> Tcr.Ir.t * Tcr.Space.point list
 
+(** Rebuild a full {!Tuner.result} from an artifact, re-measuring only the
+    winning candidate (search fields are zeroed: nothing was searched).
+    The cache-hit fast path of the tuning service. *)
+val restore_result :
+  ?reps:int -> arch:Gpusim.Arch.t -> Tuner.benchmark -> saved -> Tuner.result
+
 val load_file : Tuner.benchmark -> string -> Tcr.Ir.t * Tcr.Space.point list

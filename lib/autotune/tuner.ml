@@ -133,7 +133,7 @@ let build_pool ?(pool_per_variant = 600) ?prune rng choices =
 type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
 
 let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
-    ?(pool_per_variant = 600) ?prune ~rng ~arch (b : benchmark) =
+    ?(pool_per_variant = 600) ?prune ?batch_map ~rng ~arch (b : benchmark) =
   let choices = variant_choices b in
   let pool = build_pool ~pool_per_variant ?prune rng choices in
   (* a policy can empty the pool of a tiny computation (e.g. a 10x10
@@ -152,16 +152,21 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
     match strategy with
     | Exhaustive -> Surf.Search.exhaustive ~pool ~eval
     | Random_search ->
-      let max_evals =
-        (match strategy with Surf_search cfg -> cfg.max_evals | _ -> 100)
-      in
-      Surf.Search.random_search rng ~pool ~eval ~max_evals
+      Surf.Search.random_search rng ~pool ~eval
+        ~max_evals:Surf.Search.default_config.max_evals
     | Surf_search cfg ->
       let schema =
         Surf.Feature.make_schema (Array.to_list (Array.map (fun c -> c.features) pool))
       in
       let encode c = Surf.Feature.encode schema c.features in
-      Surf.Search.surf ~config:cfg rng ~pool ~encode ~eval
+      let eval_batch =
+        Option.map
+          (fun map cs ->
+            Evaluator.objective_batch evaluator ~map
+              (List.map (fun (c : candidate) -> (c.ir, c.points)) cs))
+          batch_map
+      in
+      Surf.Search.surf ~config:cfg ?eval_batch rng ~pool ~encode ~eval
   in
   let best = search_result.best.config in
   let best_report = Evaluator.measure evaluator best.ir best.points in

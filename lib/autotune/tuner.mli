@@ -55,11 +55,16 @@ val build_pool :
 
 type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
 
+(** [batch_map], when given, executes the pure measurement thunks of each
+    SURF iteration batch (see {!Evaluator.measure_batch}) - the hook a
+    multi-domain scheduler plugs into. Results are bit-identical to the
+    sequential default for any order-preserving executor. *)
 val tune :
   ?strategy:strategy ->
   ?reps:int ->
   ?pool_per_variant:int ->
   ?prune:Tcr.Prune.policy ->
+  ?batch_map:((unit -> Gpusim.Gpu.report) list -> Gpusim.Gpu.report list) ->
   rng:Util.Rng.t ->
   arch:Gpusim.Arch.t ->
   benchmark ->

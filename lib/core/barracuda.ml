@@ -61,6 +61,25 @@ let save_tuning = Autotune.Store.save
 let load_tuning (b : Autotune.Tuner.benchmark) text =
   Autotune.Store.restore b (Autotune.Store.parse text)
 
+(* ------------------------------------------------------------------ *)
+(* Tuning service: canonical cache + multi-domain batch evaluation. *)
+
+(* A long-lived service instance. Equivalent programs (up to index/tensor
+   renaming) share one cached tuning; batches of cold requests spread over
+   [domains]. *)
+let service ?(domains = 1) ?cache_dir ?(max_evals = 100) ?(seed = 42)
+    ?(arch = Gpusim.Arch.gtx980) () =
+  Service.Engine.create
+    ~config:{ Service.Engine.default_config with arch; domains; max_evals; seed; cache_dir }
+    ()
+
+(* Tune through a service: cache hit or full search as needed. *)
+let tune_service svc ?(label = "tc") src = Service.Engine.tune svc { label; src }
+
+(* The canonical cache key a program/arch pair would be served under. *)
+let cache_key ?(arch = Gpusim.Arch.gtx980) src =
+  (Service.Canonical.of_dsl ~arch src).key
+
 (* Standalone CUDA driver (main + timing loop + CPU check). *)
 let driver_of ?reps (result : tuned) =
   Codegen.Driver.emit ?reps result.best.ir result.best.points
@@ -132,3 +151,8 @@ module Cse = Tcr_cse
 module Driver = Codegen.Driver
 module Einsum_notation = Octopi.Einsum_notation
 module Rng = Util.Rng
+module Canonical = Service.Canonical
+module Tuning_cache = Service.Tuning_cache
+module Metrics = Service.Metrics
+module Scheduler = Service.Scheduler
+module Service = Service.Engine

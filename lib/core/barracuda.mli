@@ -71,6 +71,29 @@ val load_tuning :
 (** Standalone CUDA driver (main + timing loop + CPU reference check). *)
 val driver_of : ?reps:int -> tuned -> string
 
+(** {1 Tuning service}
+
+    A long-lived front end over the pipeline: requests equivalent up to
+    index/tensor renaming share one cached tuning ({!Canonical} keys over
+    a persistent {!Tuning_cache}), and batches of cold requests spread
+    over OCaml 5 domains with a bit-identical-to-sequential guarantee.
+    See {!Service} for the full API. *)
+
+val service :
+  ?domains:int ->
+  ?cache_dir:string ->
+  ?max_evals:int ->
+  ?seed:int ->
+  ?arch:Gpusim.Arch.t ->
+  unit ->
+  Service.Engine.t
+
+val tune_service :
+  Service.Engine.t -> ?label:string -> string -> Service.Engine.response
+
+(** The canonical cache key a program would be served under on [arch]. *)
+val cache_key : ?arch:Gpusim.Arch.t -> string -> string
+
 (** {1 Summaries} *)
 
 type summary = {
@@ -139,3 +162,18 @@ module Simtrace : module type of struct include Gpusim.Simtrace end
 module Driver : module type of struct include Codegen.Driver end
 module Einsum_notation : module type of struct include Octopi.Einsum_notation end
 module Rng : module type of struct include Util.Rng end
+
+(** Canonical request form: the service cache identity. *)
+module Canonical : module type of struct include Service.Canonical end
+
+(** Persistent tuning cache (LRU front + versioned disk artifacts). *)
+module Tuning_cache : module type of struct include Service.Tuning_cache end
+
+(** Service counters, timers and latency histograms. *)
+module Metrics : module type of struct include Service.Metrics end
+
+(** Order-preserving multi-domain parallel map. *)
+module Scheduler : module type of struct include Service.Scheduler end
+
+(** The tuning service engine. *)
+module Service : module type of struct include Service.Engine end

@@ -1,0 +1,223 @@
+(* The tuning service: a long-lived front end over the one-shot
+   Barracuda pipeline.
+
+   A request (label + DSL text) is canonicalized (Canonical), looked up in
+   the persistent cache (Tuning_cache), and only tuned when genuinely new.
+   Batches are deduplicated by canonical key first - equivalent requests
+   share one tune - then the unique cold keys are scheduled over OCaml 5
+   domains (Scheduler): across requests when a batch has several cold
+   keys, inside SURF's per-iteration evaluation batch (the paper's "up to
+   ten evaluations concurrently") when it has one. Every stage reports to
+   a Metrics registry.
+
+   Determinism: a response depends only on (canonical key, service
+   config). Cold tunes seed their own RNG from the config seed, pure
+   evaluation batches are merged back in input order, and request-level
+   parallelism only changes which domain runs a tune, so batch
+   composition, domain count and cache state never change a tuned
+   configuration. *)
+
+type request = { label : string; src : string }
+
+type served = Tuned | Memory_hit | Disk_hit | Deduplicated
+
+let served_name = function
+  | Tuned -> "tuned"
+  | Memory_hit -> "hit:memory"
+  | Disk_hit -> "hit:disk"
+  | Deduplicated -> "deduplicated"
+
+type response = {
+  label : string;
+  key : string;
+  served : served;
+  result : Autotune.Tuner.result;
+  renaming : Canonical.renaming;
+  wall_s : float;
+}
+
+type config = {
+  arch : Gpusim.Arch.t;
+  domains : int;
+  clamp_domains : bool;  (* cap at the hardware's recommended count *)
+  max_evals : int;
+  batch_size : int;
+  pool_per_variant : int;
+  reps : int;
+  seed : int;
+  cache_dir : string option;
+  cache_capacity : int;
+}
+
+let default_config =
+  {
+    arch = Gpusim.Arch.gtx980;
+    domains = 1;
+    clamp_domains = true;
+    max_evals = Surf.Search.default_config.max_evals;
+    batch_size = Surf.Search.default_config.batch_size;
+    pool_per_variant = 600;
+    reps = 100;
+    seed = 42;
+    cache_dir = None;
+    cache_capacity = 128;
+  }
+
+type t = {
+  cfg : config;
+  cache : Tuning_cache.t;
+  sched : Scheduler.t;
+  metrics : Metrics.t;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    cache = Tuning_cache.create ?dir:config.cache_dir ~capacity:config.cache_capacity ();
+    sched =
+      Scheduler.create ~clamp_to_cores:config.clamp_domains ~domains:config.domains ();
+    metrics = Metrics.create ();
+  }
+
+let metrics t = t.metrics
+let cache_stats t = Tuning_cache.stats t.cache
+let effective_domains t = Scheduler.domains t.sched
+
+(* One cold tune of a canonical program. [inner_parallel] plugs the domain
+   scheduler into SURF's evaluation batches; it is off when the tune itself
+   already runs inside a worker domain (no nested parallelism). *)
+let tune_canonical t ~inner_parallel (canon : Canonical.t) =
+  let cfg =
+    {
+      Surf.Search.default_config with
+      max_evals = t.cfg.max_evals;
+      batch_size = t.cfg.batch_size;
+    }
+  in
+  let batch_map =
+    if inner_parallel && Scheduler.domains t.sched > 1 then
+      Some (Scheduler.run_thunks t.sched)
+    else None
+  in
+  Autotune.Tuner.tune
+    ~strategy:(Autotune.Tuner.Surf_search cfg)
+    ~reps:t.cfg.reps ~pool_per_variant:t.cfg.pool_per_variant ?batch_map
+    ~rng:(Util.Rng.create t.cfg.seed) ~arch:t.cfg.arch (Canonical.benchmark canon)
+
+(* Rebuild a result from a cached artifact: parse the canonical program and
+   re-measure only the winning candidate. *)
+let restore_hit t (canon : Canonical.t) (entry : Tuning_cache.entry) =
+  Autotune.Store.restore_result ~reps:t.cfg.reps ~arch:t.cfg.arch
+    (Canonical.benchmark canon) entry.saved
+
+(* ------------------------------------------------------------------ *)
+
+(* The batch protocol: canonicalize -> dedup -> serve hits -> tune unique
+   cold keys (in parallel when there are several) -> store -> respond in
+   request order. *)
+let batch t (requests : request list) =
+  Metrics.incr ~by:(List.length requests) t.metrics "requests";
+  let canons =
+    Metrics.time t.metrics "phase.canonicalize" (fun () ->
+        List.map (fun r -> (r, Canonical.of_dsl ~arch:t.cfg.arch r.src)) requests)
+  in
+  (* one representative per canonical key, in first-appearance order *)
+  let unique_keys =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun ((_, canon) : request * Canonical.t) ->
+        if Hashtbl.mem seen canon.Canonical.key then None
+        else begin
+          Hashtbl.add seen canon.key ();
+          Some canon
+        end)
+      canons
+  in
+  (* probe the cache for every unique key *)
+  let probed =
+    Metrics.time t.metrics "phase.lookup" (fun () ->
+        List.map
+          (fun (canon : Canonical.t) -> (canon, Tuning_cache.find t.cache canon.key))
+          unique_keys)
+  in
+  let hits = List.filter_map (fun (c, e) -> Option.map (fun e -> (c, e)) e) probed in
+  let cold = List.filter_map (fun (c, e) -> if e = None then Some c else None) probed in
+  Metrics.incr ~by:(List.length cold) t.metrics "tune.cold";
+  (* serve hits: restore is ~one measurement, done sequentially *)
+  let hit_results =
+    List.map
+      (fun ((canon : Canonical.t), ((entry : Tuning_cache.entry), source)) ->
+        let t0 = Unix.gettimeofday () in
+        let result =
+          Metrics.time t.metrics "phase.restore" (fun () -> restore_hit t canon entry)
+        in
+        let served = match source with Tuning_cache.Memory -> Memory_hit | Disk -> Disk_hit in
+        (canon.key, (served, result, Unix.gettimeofday () -. t0)))
+      hits
+  in
+  (* tune the cold keys: across domains when several, inside SURF when one *)
+  let cold_results =
+    Metrics.time t.metrics "phase.tune" (fun () ->
+        match cold with
+        | [] -> []
+        | [ canon ] ->
+          let t0 = Unix.gettimeofday () in
+          let r = tune_canonical t ~inner_parallel:true canon in
+          [ (canon.key, (Tuned, r, Unix.gettimeofday () -. t0)) ]
+        | _ ->
+          Scheduler.map t.sched
+            (fun (canon : Canonical.t) ->
+              let t0 = Unix.gettimeofday () in
+              let r = tune_canonical t ~inner_parallel:false canon in
+              (canon.key, (Tuned, r, Unix.gettimeofday () -. t0)))
+            cold)
+  in
+  (* store fresh artifacts (main domain: the cache mutex is cheap, but
+     write-through happens once per key, in batch order) *)
+  Metrics.time t.metrics "phase.store" (fun () ->
+      List.iter
+        (fun (key, ((_, result, _) : served * Autotune.Tuner.result * float)) ->
+          Tuning_cache.store t.cache ~key (Autotune.Store.of_result result))
+        cold_results);
+  let by_key = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace by_key k v) (hit_results @ cold_results);
+  (* respond in request order; later requests of a group are Deduplicated *)
+  let first_seen = Hashtbl.create 16 in
+  List.map
+    (fun ((req, canon) : request * Canonical.t) ->
+      let served, result, wall_s = Hashtbl.find by_key canon.key in
+      let served, wall_s =
+        if Hashtbl.mem first_seen canon.key then (Deduplicated, 0.0)
+        else begin
+          Hashtbl.add first_seen canon.key ();
+          (served, wall_s)
+        end
+      in
+      (match served with
+      | Deduplicated -> Metrics.incr t.metrics "serve.deduplicated"
+      | Tuned -> Metrics.incr t.metrics "serve.tuned"
+      | Memory_hit -> Metrics.incr t.metrics "serve.hit.memory"
+      | Disk_hit -> Metrics.incr t.metrics "serve.hit.disk");
+      Metrics.observe t.metrics "request.wall" wall_s;
+      {
+        label = req.label;
+        key = canon.key;
+        served;
+        result;
+        renaming = canon.renaming;
+        wall_s;
+      })
+    canons
+
+let tune t (req : request) =
+  match batch t [ req ] with [ r ] -> r | _ -> assert false
+
+let tune_dsl ?(label = "tc") t src = tune t { label; src }
+
+(* Render the service-side view: metrics plus cache counters. *)
+let stats_report t =
+  let s = cache_stats t in
+  Printf.sprintf
+    "%scache:\n  hits %d (disk %d)  misses %d  corrupt %d  stores %d  evictions %d  front %d\n"
+    (Metrics.render t.metrics) s.hits s.disk_loads s.misses s.corrupt s.stores s.evictions
+    (Tuning_cache.size t.cache)

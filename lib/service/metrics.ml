@@ -1,0 +1,135 @@
+(* Service metrics: named counters and wall-clock timers with
+   latency-histogram rendering. Domain-safe behind one mutex (updates are
+   tiny; contention is irrelevant next to a tuning evaluation), summarized
+   through Util.Stats so the service reports the same statistics the rest
+   of the system uses. *)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, float list ref) Hashtbl.t;  (* seconds, newest first *)
+  lock : Mutex.t;
+}
+
+let create () = { counters = Hashtbl.create 16; timers = Hashtbl.create 16; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let incr ?(by = 1) t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add t.counters name (ref by))
+
+let observe t name seconds =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.timers name with
+      | Some r -> r := seconds :: !r
+      | None -> Hashtbl.add t.timers name (ref [ seconds ]))
+
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe t name (Unix.gettimeofday () -. t0)) f
+
+let counter t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let counters t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+      |> List.sort compare)
+
+let observations t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.timers name with Some r -> List.rev !r | None -> [])
+
+type timer_summary = {
+  count : int;
+  total_s : float;
+  mean_s : float;
+  median_s : float;
+  min_s : float;
+  max_s : float;
+  stddev_s : float;
+}
+
+let summarize_timer samples =
+  {
+    count = List.length samples;
+    total_s = List.fold_left ( +. ) 0.0 samples;
+    mean_s = Util.Stats.mean samples;
+    median_s = Util.Stats.median samples;
+    min_s = Util.Stats.min_list samples;
+    max_s = Util.Stats.max_list samples;
+    stddev_s = Util.Stats.stddev samples;
+  }
+
+let summaries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, summarize_timer (List.rev !r)) :: acc) t.timers []
+      |> List.sort compare)
+
+(* Fixed decade buckets: service latencies span microseconds (cache hits)
+   to tens of seconds (cold tunes). *)
+let bucket_bounds = [ 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 ]
+
+let bucket_label lo hi =
+  let s v =
+    if v < 1e-3 then Printf.sprintf "%.0fus" (v *. 1e6)
+    else if v < 1.0 then Printf.sprintf "%.0fms" (v *. 1e3)
+    else Printf.sprintf "%.0fs" v
+  in
+  match (lo, hi) with
+  | None, Some h -> "<" ^ s h
+  | Some l, Some h -> s l ^ "-" ^ s h
+  | Some l, None -> ">=" ^ s l
+  | None, None -> "all"
+
+let histogram t name =
+  let samples = observations t name in
+  let edges =
+    (None :: List.map Option.some bucket_bounds)
+    @ [ Some infinity ]
+  in
+  let rec buckets = function
+    | lo :: (hi :: _ as rest) ->
+      let in_bucket x =
+        (match lo with None -> true | Some l -> x >= l)
+        && match hi with Some h -> x < h | None -> true
+      in
+      let hi_label = match hi with Some h when h = infinity -> None | h -> h in
+      ( bucket_label lo hi_label,
+        List.length (List.filter in_bucket samples) )
+      :: buckets rest
+    | _ -> []
+  in
+  buckets edges
+
+let render t =
+  let b = Buffer.create 512 in
+  let cs = counters t in
+  if cs <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-28s %d\n" name v)) cs
+  end;
+  let ts = summaries t in
+  if ts <> [] then begin
+    Buffer.add_string b "timers:\n";
+    List.iter
+      (fun (name, s) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-28s n=%-4d total %8.3fs  mean %8.4fs  median %8.4fs  max %8.4fs\n"
+             name s.count s.total_s s.mean_s s.median_s s.max_s);
+        let hist =
+          histogram t name
+          |> List.filter (fun (_, n) -> n > 0)
+          |> List.map (fun (l, n) -> Printf.sprintf "%s:%d" l n)
+        in
+        if hist <> [] then
+          Buffer.add_string b
+            (Printf.sprintf "  %-28s [%s]\n" "" (String.concat "  " hist)))
+      ts
+  end;
+  Buffer.contents b

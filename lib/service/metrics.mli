@@ -1,0 +1,44 @@
+(** Service metrics: named counters and wall-clock timers with decade
+    latency histograms, summarized through {!Util.Stats}. All operations
+    are domain-safe. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+
+(** Record one duration, in seconds, under a timer name. *)
+val observe : t -> string -> float -> unit
+
+(** Time a thunk and record its wall duration (also on exception). *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+(** Current value of a counter (0 if never incremented). *)
+val counter : t -> string -> int
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** All recorded durations of a timer, oldest first. *)
+val observations : t -> string -> float list
+
+type timer_summary = {
+  count : int;
+  total_s : float;
+  mean_s : float;
+  median_s : float;
+  min_s : float;
+  max_s : float;
+  stddev_s : float;
+}
+
+val summaries : t -> (string * timer_summary) list
+
+(** Decade buckets from 100us to 10s: [("<100us", n); ...; (">=10s", n)].
+    Cache hits land in the microsecond buckets, cold tunes in the second
+    buckets. *)
+val histogram : t -> string -> (string * int) list
+
+(** Human-readable report: counters, timer summaries, histograms. *)
+val render : t -> string

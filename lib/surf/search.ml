@@ -56,21 +56,34 @@ let random_search rng ~pool ~eval ~max_evals =
   make_result ~pool_size:(Array.length pool) history
 
 (* SURF, Algorithm 2. [encode] maps a configuration to its binarized
-   feature vector (built once per pool by the caller via [Feature]). *)
-let surf ?(config = default_config) rng ~pool ~encode ~eval =
+   feature vector (built once per pool by the caller via [Feature]).
+
+   [eval_batch] evaluates one iteration's batch as a unit - the paper runs
+   "up to ten evaluations concurrently" - and defaults to the sequential
+   [List.map eval]. A parallel evaluator must return the objectives in
+   input order; the search itself stays deterministic either way because
+   batch membership never depends on how the batch is executed. *)
+let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
   let pool_size = Array.length pool in
   if pool_size = 0 then invalid_arg "Search.surf: empty pool";
+  let eval_batch = match eval_batch with Some f -> f | None -> List.map eval in
   let nmax = min config.max_evals pool_size in
   let bs = max 1 (min config.batch_size nmax) in
-  (* line 1-2: initial random batch *)
   let remaining = ref (Array.to_list pool) in
   let history = ref [] in
+  (* Hard budget clamp: however a batch was proposed, never evaluate past
+     [nmax], so [batch_size] exceeding the remaining budget cannot
+     overshoot [max_evals]. *)
   let evaluate configs =
-    List.iter
-      (fun c -> history := { config = c; objective = eval c } :: !history)
-      configs;
+    let left = nmax - List.length !history in
+    let configs = List.filteri (fun i _ -> i < left) configs in
+    let objectives = eval_batch configs in
+    List.iter2
+      (fun c objective -> history := { config = c; objective } :: !history)
+      configs objectives;
     remaining := List.filter (fun c -> not (List.memq c configs)) !remaining
   in
+  (* line 1-2: initial random batch *)
   let initial =
     Array.to_list (Util.Rng.sample_without_replacement rng bs (Array.of_list !remaining))
   in
@@ -87,10 +100,7 @@ let surf ?(config = default_config) rng ~pool ~encode ~eval =
       List.map (fun c -> (Forest.predict model (encode c), c)) !remaining
     in
     let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
-    let budget = min bs (nmax - List.length !history) in
-    let batch =
-      List.filteri (fun i _ -> i < budget) sorted |> List.map snd
-    in
+    let batch = List.filteri (fun i _ -> i < bs) sorted |> List.map snd in
     evaluate batch
   done;
   make_result ~pool_size !history

@@ -32,9 +32,18 @@ val random_search :
 
 (** Algorithm 2. [encode] maps a configuration to its binarized feature
     vector. Raises on an empty pool; never evaluates more than [max_evals]
-    configurations or the same configuration twice. *)
+    configurations or the same configuration twice, even when [batch_size]
+    exceeds the remaining budget.
+
+    [eval_batch], when given, evaluates each iteration's batch as a unit
+    (the paper's "up to ten evaluations concurrently") and must return one
+    objective per configuration, in input order; it defaults to the
+    sequential [List.map eval]. Batch membership does not depend on the
+    evaluator, so a pure parallel [eval_batch] yields a bit-identical
+    result to the sequential default. *)
 val surf :
   ?config:config ->
+  ?eval_batch:('a list -> float list) ->
   Util.Rng.t ->
   pool:'a array ->
   encode:('a -> float array) ->

@@ -25,4 +25,5 @@ let () =
       ("depgraph", Test_depgraph.suite);
       ("more-properties", Test_more_properties.suite);
       ("edges", Test_edges.suite);
+      ("service", Test_service.suite);
     ]

@@ -139,6 +139,44 @@ let test_surf_budget_and_quality () =
   (* the model should find something near the basin around 63 *)
   Alcotest.(check bool) "near optimum" true (abs_float (float_of_int (r.best.config - 63)) <= 5.0)
 
+let test_surf_never_overshoots_budget () =
+  (* exact eval counts when the batch size does not divide the budget: the
+     final batch must be truncated, never spill past max_evals *)
+  List.iter
+    (fun (max_evals, batch_size) ->
+      let cfg = { Surf.Search.default_config with max_evals; batch_size } in
+      let count = ref 0 in
+      let eval i = incr count; objective i in
+      let r = Surf.Search.surf ~config:cfg (Util.Rng.create 21) ~pool:pool_100 ~encode ~eval in
+      let expect = min max_evals (Array.length pool_100) in
+      check_int (Printf.sprintf "history (nmax=%d bs=%d)" max_evals batch_size)
+        expect r.evaluations;
+      check_int (Printf.sprintf "objective calls (nmax=%d bs=%d)" max_evals batch_size)
+        expect !count)
+    [ (23, 10); (7, 10); (40, 7); (10, 10); (1, 10) ]
+
+let test_surf_batch_evaluator_budget_and_identity () =
+  (* a plugged-in batch evaluator sees the same clamped batches and yields a
+     bit-identical search to the default path *)
+  let cfg = { Surf.Search.default_config with max_evals = 23; batch_size = 10 } in
+  let run eval_batch =
+    Surf.Search.surf ~config:cfg ?eval_batch (Util.Rng.create 22) ~pool:pool_100 ~encode
+      ~eval:objective
+  in
+  let sizes = ref [] in
+  let batched =
+    run (Some (fun cs -> sizes := List.length cs :: !sizes; List.map objective cs))
+  in
+  let plain = run None in
+  check_int "still exactly 23" 23 batched.evaluations;
+  check_int "batch sizes sum to budget" 23 (List.fold_left ( + ) 0 !sizes);
+  Alcotest.(check bool) "no batch exceeds batch_size" true
+    (List.for_all (fun s -> s <= 10) !sizes);
+  check_int "same winner as the unbatched path" plain.best.config batched.best.config;
+  Alcotest.(check (list int)) "identical evaluation order"
+    (List.map (fun (e : int Surf.Search.evaluation) -> e.config) plain.history)
+    (List.map (fun (e : int Surf.Search.evaluation) -> e.config) batched.history)
+
 let test_surf_small_pool () =
   let rng = Util.Rng.create 13 in
   let pool = Array.init 5 (fun i -> i) in
@@ -214,6 +252,8 @@ let suite =
     ("exhaustive finds min", `Quick, test_exhaustive_finds_min);
     ("random respects budget", `Quick, test_random_respects_budget);
     ("surf respects budget and converges", `Quick, test_surf_budget_and_quality);
+    ("surf never overshoots budget", `Quick, test_surf_never_overshoots_budget);
+    ("surf batch evaluator: budget + identity", `Quick, test_surf_batch_evaluator_budget_and_identity);
     ("surf small pool", `Quick, test_surf_small_pool);
     ("surf beats random on structured", `Slow, test_surf_beats_random_on_structured);
     ("convergence curve monotone", `Quick, test_convergence_curve_monotone);
