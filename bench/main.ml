@@ -8,11 +8,44 @@
      bench/main.exe claims          Section III variant claims
      bench/main.exe space           Section V search-space sizes
      bench/main.exe table2|table3|table4|figure3|surf-vs-brute
-     bench/main.exe bechamel        only the Bechamel suite *)
+     bench/main.exe bechamel        only the Bechamel suite
+
+   With --trace-dir=DIR (anywhere on the command line), every experiment
+   runs with pipeline tracing enabled and writes DIR/<name>.trace.json, a
+   Chrome trace-event file loadable in chrome://tracing / Perfetto. *)
+
+(* Parsed once at startup; the flag is stripped from the argv the
+   experiment dispatch below sees. *)
+let trace_dir, argv =
+  let dir = ref None in
+  let rest =
+    Array.to_list Sys.argv
+    |> List.filter (fun a ->
+           let prefix = "--trace-dir=" in
+           if String.length a > String.length prefix
+              && String.sub a 0 (String.length prefix) = prefix
+           then begin
+             dir := Some (String.sub a (String.length prefix)
+                            (String.length a - String.length prefix));
+             false
+           end
+           else true)
+  in
+  (!dir, Array.of_list rest)
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
-  let r = f () in
+  let r =
+    match trace_dir with
+    | None -> f ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let r, events = Obs.Trace.collect f in
+      let path = Filename.concat dir (name ^ ".trace.json") in
+      Obs.Export.write_chrome_trace path events;
+      Printf.printf "[%s trace: %d spans -> %s]\n%!" name (List.length events) path;
+      r
+  in
   Printf.printf "[%s regenerated in %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0);
   r
 
@@ -136,7 +169,7 @@ let run_all () =
   run_bechamel ()
 
 let () =
-  match Sys.argv with
+  match argv with
   | [| _ |] -> run_all ()
   | [| _; "claims" |] -> run_claims ()
   | [| _; "space" |] -> run_space ()

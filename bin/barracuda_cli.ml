@@ -9,6 +9,8 @@
      c         emit sequential C or OpenACC renderings
      batch     serve many requests via the tuning service (cache + domains)
      stats     inspect a persistent tuning-cache directory
+     trace     tune with tracing on; write a Chrome/Perfetto trace-event JSON
+     report    tune and print convergence + Prometheus-style metrics reports
      archs     list the simulated GPU architectures
 
    The tensor program is read from a file, or from the -e EXPR option. *)
@@ -366,7 +368,13 @@ let cmd_batch =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print service metrics after the batch.")
   in
-  let run () files exprs arch seed evals domains cache_dir want_stats =
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Trace the batch and write Chrome trace-event JSON to FILE.")
+  in
+  let run () files exprs arch seed evals domains cache_dir want_stats trace_out =
     let requests =
       List.map
         (fun path ->
@@ -382,7 +390,17 @@ let cmd_batch =
       { Service.Engine.default_config with arch; domains; max_evals = evals; seed; cache_dir }
     in
     let svc = Service.Engine.create ~config () in
-    let responses = Service.Engine.batch svc requests in
+    let responses =
+      match trace_out with
+      | None -> Service.Engine.batch svc requests
+      | Some path ->
+        let responses, events =
+          Obs.Trace.collect (fun () -> Service.Engine.batch svc requests)
+        in
+        Obs.Export.write_chrome_trace path events;
+        Printf.printf "wrote %s (%d spans)\n" path (List.length events);
+        responses
+    in
     Printf.printf "%-16s %-14s %-12s %10s %10s\n" "request" "served" "key" "gflops" "wall";
     List.iter
       (fun (r : Service.Engine.response) ->
@@ -402,7 +420,108 @@ let cmd_batch =
           multi-domain tuning of the cold remainder.")
     Term.(
       const run $ setup_logs $ files_arg $ exprs_arg $ arch_arg $ seed_arg $ evals_arg
-      $ domains_arg $ cache_arg $ stats_flag)
+      $ domains_arg $ cache_arg $ stats_flag $ trace_arg)
+
+(* ---------------- trace ---------------- *)
+
+let service_config arch seed evals domains cache_dir =
+  { Service.Engine.default_config with arch; domains; max_evals = evals; seed; cache_dir }
+
+let cmd_trace =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace-event JSON to FILE (default trace.json).")
+  in
+  let report_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the convergence + metrics report to FILE.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for parallel evaluation.")
+  in
+  let run () src arch seed evals domains out report_out =
+    let svc = Service.Engine.create ~config:(service_config arch seed evals domains None) () in
+    let response, events =
+      Obs.Trace.collect (fun () -> Service.Engine.tune_dsl svc src)
+    in
+    Obs.Export.write_chrome_trace out events;
+    let cats =
+      List.sort_uniq compare (List.map (fun (e : Obs.Trace.event) -> e.cat) events)
+    in
+    Printf.printf "%s: %.2f GFlops (%s), %d evaluations\n" response.label
+      response.result.gflops
+      (Service.Engine.served_name response.served)
+      response.result.evaluations;
+    Printf.printf "wrote %s: %d spans across %d domains (categories: %s)\n" out
+      (List.length events)
+      (List.length
+         (List.sort_uniq compare (List.map (fun (e : Obs.Trace.event) -> e.domain) events)))
+      (String.concat ", " cats);
+    print_string (Service.Engine.convergence_report response);
+    match report_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Service.Engine.convergence_report response);
+      output_string oc "\n";
+      output_string oc (Service.Engine.stats_report svc);
+      output_string oc "\n";
+      output_string oc (Service.Engine.prometheus_report svc);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Tune a program with pipeline tracing enabled and write a Chrome \
+          trace-event JSON (open in chrome://tracing or ui.perfetto.dev).")
+    Term.(
+      const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ domains_arg
+      $ out_arg $ report_arg)
+
+(* ---------------- report ---------------- *)
+
+let cmd_report =
+  let prom_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:"Also write the Prometheus text exposition to FILE.")
+  in
+  let run () src arch seed evals prom_out =
+    let svc = Service.Engine.create ~config:(service_config arch seed evals 1 None) () in
+    let response = Service.Engine.tune_dsl svc src in
+    Printf.printf "%s on %s: %.2f GFlops after %d evaluations (pool %d of %d)\n\n"
+      response.label arch.Gpusim.Arch.name response.result.gflops
+      response.result.evaluations response.result.pool_size
+      response.result.total_space;
+    print_string (Service.Engine.convergence_report response);
+    print_newline ();
+    print_string (Service.Engine.stats_report svc);
+    let prom = Service.Engine.prometheus_report svc in
+    match prom_out with
+    | None ->
+      print_newline ();
+      print_string prom
+    | Some path ->
+      let oc = open_out path in
+      output_string oc prom;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Tune a program and print the SURF convergence report (best-so-far, pool \
+          coverage, surrogate R^2 per iteration) plus service metrics in \
+          human-readable and Prometheus text form.")
+    Term.(const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ prom_arg)
 
 (* ---------------- stats (cache inventory) ---------------- *)
 
@@ -451,4 +570,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
           [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
-            cmd_driver; cmd_c; cmd_inspect; cmd_batch; cmd_stats; cmd_archs ]))
+            cmd_driver; cmd_c; cmd_inspect; cmd_batch; cmd_stats; cmd_trace;
+            cmd_report; cmd_archs ]))

@@ -39,11 +39,23 @@ let record t (ir : Tcr.Ir.t) points report =
       +. min eval_timeout_s (Gpusim.Gpu.time_with_reps report ~reps:t.reps)
   end
 
+(* One real (uncached) measurement, wrapped in a span so traces show every
+   empirical evaluation - wherever it ran, including worker domains. *)
+let traced_measure arch (ir : Tcr.Ir.t) points =
+  Obs.Trace.with_span ~cat:"autotune"
+    ~attrs:(fun () -> [ ("label", ir.label) ])
+    "eval.measure"
+  @@ fun span ->
+  let report = Gpusim.Gpu.measure arch ir points in
+  Obs.Trace.add_attrs span
+    [ ("kernel_time_s", Printf.sprintf "%.6g" report.Gpusim.Gpu.kernel_time_s) ];
+  report
+
 let measure t (ir : Tcr.Ir.t) points =
   match Hashtbl.find_opt t.cache (key ir points) with
   | Some report -> report
   | None ->
-    let report = Gpusim.Gpu.measure t.arch ir points in
+    let report = traced_measure t.arch ir points in
     record t ir points report;
     report
 
@@ -61,7 +73,7 @@ let measure_batch t ~map items =
   let thunks =
     List.filter_map
       (function
-        | ir, points, None -> Some (fun () -> Gpusim.Gpu.measure t.arch ir points)
+        | ir, points, None -> Some (fun () -> traced_measure t.arch ir points)
         | _ -> None)
       slots
   in

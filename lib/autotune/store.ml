@@ -153,6 +153,7 @@ let restore_result ?(reps = 100) ~arch (b : Tuner.benchmark) (s : saved) =
     total_space = Tuner.total_space choices;
     variant_count = List.length choices;
     convergence = [];
+    iterations = [];
   }
 
 let load_file (b : Tuner.benchmark) path =

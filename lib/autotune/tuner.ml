@@ -35,6 +35,7 @@ type result = {
   total_space : int;         (* exact size of the full cross-product space *)
   variant_count : int;
   convergence : float list;
+  iterations : Obs.Search_log.iteration list;  (* SURF per-batch telemetry *)
 }
 
 let benchmark_of_dsl ~label src =
@@ -134,14 +135,29 @@ type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
 
 let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
     ?(pool_per_variant = 600) ?prune ?batch_map ~rng ~arch (b : benchmark) =
-  let choices = variant_choices b in
-  let pool = build_pool ~pool_per_variant ?prune rng choices in
-  (* a policy can empty the pool of a tiny computation (e.g. a 10x10
-     contraction cannot reach 32 threads per block): fall back to the full
-     space rather than failing *)
+  Obs.Trace.with_span ~cat:"autotune"
+    ~attrs:(fun () -> [ ("label", b.label); ("arch", arch.Gpusim.Arch.name) ])
+    "tune"
+  @@ fun tune_span ->
+  let choices =
+    Obs.Trace.with_span ~cat:"autotune" "tune.variants" (fun _ -> variant_choices b)
+  in
   let pool =
-    if Array.length pool = 0 && prune <> None then build_pool ~pool_per_variant rng choices
-    else pool
+    Obs.Trace.with_span ~cat:"autotune"
+      ~attrs:(fun () -> [ ("per_variant", string_of_int pool_per_variant) ])
+      "tune.pool"
+      (fun span ->
+        let pool = build_pool ~pool_per_variant ?prune rng choices in
+        (* a policy can empty the pool of a tiny computation (e.g. a 10x10
+           contraction cannot reach 32 threads per block): fall back to the
+           full space rather than failing *)
+        let pool =
+          if Array.length pool = 0 && prune <> None then
+            build_pool ~pool_per_variant rng choices
+          else pool
+        in
+        Obs.Trace.add_attrs span [ ("pool", string_of_int (Array.length pool)) ];
+        pool)
   in
   Log.info (fun m ->
       m "%s on %s: %d variants, %d-candidate pool (full space %d)" b.label arch.Gpusim.Arch.name
@@ -149,6 +165,7 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
   let evaluator = Evaluator.create ~reps arch in
   let eval (c : candidate) = Evaluator.objective evaluator c.ir c.points in
   let search_result =
+    Obs.Trace.with_span ~cat:"autotune" "tune.search" @@ fun _ ->
     match strategy with
     | Exhaustive -> Surf.Search.exhaustive ~pool ~eval
     | Random_search ->
@@ -169,7 +186,15 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
       Surf.Search.surf ~config:cfg ?eval_batch rng ~pool ~encode ~eval
   in
   let best = search_result.best.config in
-  let best_report = Evaluator.measure evaluator best.ir best.points in
+  let best_report =
+    Obs.Trace.with_span ~cat:"autotune" "tune.measure_best" (fun _ ->
+        Evaluator.measure evaluator best.ir best.points)
+  in
+  Obs.Trace.add_attrs tune_span
+    [
+      ("evaluations", string_of_int search_result.evaluations);
+      ("best_objective", Printf.sprintf "%.6g" search_result.best.objective);
+    ];
   Log.info (fun m ->
       m "%s on %s: best %.3g s after %d evaluations (variant %s)" b.label arch.Gpusim.Arch.name
         best_report.Gpusim.Gpu.kernel_time_s search_result.evaluations
@@ -188,6 +213,7 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
     total_space = total_space choices;
     variant_count = List.length choices;
     convergence = Surf.Search.convergence_curve search_result;
+    iterations = search_result.iterations;
   }
 
 (* Emit the tuned CUDA for a result. *)

@@ -30,6 +30,9 @@ type result = {
   total_space : int;  (** exact size of the full cross-product space *)
   variant_count : int;
   convergence : float list;
+  iterations : Obs.Search_log.iteration list;
+      (** SURF per-iteration telemetry (see {!Obs.Search_log}); empty for
+          the non-iterative strategies and for cache-restored results *)
 }
 
 val benchmark_of_dsl : label:string -> string -> benchmark

@@ -170,6 +170,10 @@ let emit_host (ir : Tcr.Ir.t) (kernels : Kernel.t list) =
 
 (* Full translation unit for a tuned program. *)
 let emit_program ?scalar_replace (ir : Tcr.Ir.t) (points : Tcr.Space.point list) =
+  Obs.Trace.with_span ~cat:"codegen"
+    ~attrs:(fun () -> [ ("label", ir.label) ])
+    "codegen.cuda"
+  @@ fun _ ->
   let kernels = Kernel.lower_program ?scalar_replace ir points in
   let b = Buffer.create 4096 in
   buf_add b "#include <cuda_runtime.h>\n\n";

@@ -36,6 +36,10 @@ let reference_loops b (ir : Tcr.Ir.t) =
     ir.ops
 
 let emit ?(reps = 100) ?(seed = 1) (ir : Tcr.Ir.t) (points : Tcr.Space.point list) =
+  Obs.Trace.with_span ~cat:"codegen"
+    ~attrs:(fun () -> [ ("label", ir.label); ("reps", string_of_int reps) ])
+    "codegen.driver"
+  @@ fun _ ->
   let b = Buffer.create 8192 in
   let line indent s = Buffer.add_string b (String.make indent ' ' ^ s ^ "\n") in
   let elems name = Tensor.Shape.num_elements (Tcr.Ir.var_shape ir name) in

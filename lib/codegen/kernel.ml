@@ -129,6 +129,11 @@ let lower ?(scalar_replace = true) ~name (ir : Tcr.Ir.t) (op : Tcr.Ir.op)
 let lower_program ?scalar_replace (ir : Tcr.Ir.t) (points : Tcr.Space.point list) =
   if List.length points <> List.length ir.ops then
     invalid_arg "Kernel.lower_program: one point per op required";
+  Obs.Trace.with_span ~cat:"codegen"
+    ~attrs:(fun () ->
+      [ ("label", ir.label); ("kernels", string_of_int (List.length ir.ops)) ])
+    "codegen.lower"
+  @@ fun _ ->
   List.mapi
     (fun i (op, point) ->
       lower ?scalar_replace ~name:(Printf.sprintf "%s_GPU_%d" ir.label (i + 1)) ir op point)

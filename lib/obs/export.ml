@@ -1,0 +1,167 @@
+(* Exporters for the observability layer:
+
+   - Chrome trace-event JSON (the format chrome://tracing and Perfetto
+     load): one "B"/"E" duration-event pair per span. Events are emitted
+     depth-first per domain, so begin/end pairs are balanced and correctly
+     nested in file order even for zero-duration spans.
+   - Prometheus-style text exposition of counters and timers (summaries
+     with count/sum and median/p90/p99 quantiles). *)
+
+(* ---------------- JSON helpers ---------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+(* ---------------- Chrome trace events ---------------- *)
+
+(* Timestamps are microseconds relative to the earliest span, so traces are
+   small and stable to diff. pid is the stage category (Perfetto groups
+   tracks by pid/tid); tid is the recording domain. *)
+
+let chrome_pid_names events =
+  let cats = List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.cat) events) in
+  List.mapi (fun i c -> (c, i + 1)) cats
+
+let chrome_trace (events : Trace.event list) =
+  let t_min =
+    List.fold_left (fun acc (e : Trace.event) -> min acc e.t0) infinity events
+  in
+  let ts t = if events = [] then 0.0 else (t -. t_min) *. 1e6 in
+  let pids = chrome_pid_names events in
+  let pid_of cat = try List.assoc cat pids with Not_found -> 0 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit_obj fields =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_char buf '{';
+    Buffer.add_string buf (String.concat "," fields);
+    Buffer.add_char buf '}'
+  in
+  (* process/thread name metadata so viewers label the tracks *)
+  List.iter
+    (fun (cat, pid) ->
+      emit_obj
+        [
+          "\"name\":\"process_name\""; "\"ph\":\"M\"";
+          Printf.sprintf "\"pid\":%d" pid; "\"tid\":0";
+          Printf.sprintf "\"args\":{\"name\":%s}" (json_str cat);
+        ])
+    pids;
+  let emit_span (e : Trace.event) =
+    let args =
+      Printf.sprintf "\"id\":%d" e.id
+      :: (match e.parent with None -> [] | Some p -> [ Printf.sprintf "\"parent\":%d" p ])
+      @ List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_str k) (json_str v)) e.attrs
+    in
+    emit_obj
+      [
+        Printf.sprintf "\"name\":%s" (json_str e.name);
+        Printf.sprintf "\"cat\":%s" (json_str (if e.cat = "" then "default" else e.cat));
+        "\"ph\":\"B\"";
+        Printf.sprintf "\"ts\":%.3f" (ts e.t0);
+        Printf.sprintf "\"pid\":%d" (pid_of e.cat);
+        Printf.sprintf "\"tid\":%d" e.domain;
+        Printf.sprintf "\"args\":{%s}" (String.concat "," args);
+      ];
+    fun () ->
+      emit_obj
+        [
+          Printf.sprintf "\"name\":%s" (json_str e.name);
+          Printf.sprintf "\"cat\":%s" (json_str (if e.cat = "" then "default" else e.cat));
+          "\"ph\":\"E\"";
+          Printf.sprintf "\"ts\":%.3f" (ts e.t1);
+          Printf.sprintf "\"pid\":%d" (pid_of e.cat);
+          Printf.sprintf "\"tid\":%d" e.domain;
+        ]
+  in
+  (* depth-first per domain: spans on one domain nest by construction *)
+  let domains =
+    List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.domain) events)
+  in
+  List.iter
+    (fun domain ->
+      let mine =
+        List.filter (fun (e : Trace.event) -> e.domain = domain) events
+        |> List.sort (fun (a : Trace.event) b -> compare (a.t0, a.id) (b.t0, b.id))
+      in
+      let children = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Trace.event) ->
+          match e.parent with
+          | Some p -> Hashtbl.replace children p (e :: (Option.value ~default:[] (Hashtbl.find_opt children p)))
+          | None -> ())
+        (List.rev mine);
+      let rec emit (e : Trace.event) =
+        let close = emit_span e in
+        List.iter emit (Option.value ~default:[] (Hashtbl.find_opt children e.id));
+        close ()
+      in
+      List.iter
+        (fun (e : Trace.event) -> if e.parent = None then emit e)
+        mine)
+    domains;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write_chrome_trace path events =
+  let oc = open_out path in
+  output_string oc (chrome_trace events);
+  close_out oc
+
+(* ---------------- Prometheus text exposition ---------------- *)
+
+let metric_name prefix name =
+  let b = Buffer.create (String.length name + String.length prefix + 1) in
+  Buffer.add_string b prefix;
+  Buffer.add_char b '_';
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prometheus ?(prefix = "barracuda") ~counters ~timers () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name prefix name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s_total counter\n" m);
+      Buffer.add_string b (Printf.sprintf "%s_total %d\n" m v))
+    counters;
+  List.iter
+    (fun (name, samples) ->
+      let m = metric_name prefix (name ^ "_seconds") in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" m);
+      let quantile q p =
+        Buffer.add_string b
+          (Printf.sprintf "%s{quantile=\"%s\"} %.9g\n" m q
+             (Util.Stats.percentile p samples))
+      in
+      if samples <> [] then begin
+        quantile "0.5" 50.0;
+        quantile "0.9" 90.0;
+        quantile "0.99" 99.0
+      end;
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %.9g\n" m (List.fold_left ( +. ) 0.0 samples));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" m (List.length samples)))
+    timers;
+  Buffer.contents b

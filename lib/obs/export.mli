@@ -1,0 +1,26 @@
+(** Exporters: Chrome trace-event JSON (loadable in chrome://tracing and
+    Perfetto) and Prometheus-style text metrics. *)
+
+(** Escape a string for inclusion inside a JSON string literal. *)
+val json_escape : string -> string
+
+(** Render spans as Chrome trace-event JSON ({v {"traceEvents":[...]} v}):
+    one "B"/"E" pair per span with the required name/cat/ph/ts/pid/tid
+    fields, span id, parent id and attributes in [args], plus process-name
+    metadata naming each category's track. Begin/end pairs are emitted
+    depth-first per domain, so they are balanced and correctly nested in
+    file order. Timestamps are microseconds relative to the earliest span. *)
+val chrome_trace : Trace.event list -> string
+
+val write_chrome_trace : string -> Trace.event list -> unit
+
+(** Prometheus text exposition: counters as [<prefix>_<name>_total],
+    timers as summaries ([_sum], [_count], quantiles 0.5/0.9/0.99 computed
+    with {!Util.Stats.percentile}). Metric names are sanitized to
+    [[a-zA-Z0-9_]]. *)
+val prometheus :
+  ?prefix:string ->
+  counters:(string * int) list ->
+  timers:(string * float list) list ->
+  unit ->
+  string

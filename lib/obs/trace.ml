@@ -1,0 +1,119 @@
+(* Hierarchical tracing: begin/end spans with parent linkage, recorded into
+   a global sink that is disabled by default, so instrumented code costs one
+   atomic load when tracing is off.
+
+   Domain safety follows the Service.Scheduler discipline: every domain
+   appends completed spans to its own buffer (domain-local storage, so no
+   lock is taken on the span hot path); the buffers are registered once per
+   domain under a mutex and merged at export. Parent linkage is a per-domain
+   stack - spans opened on a worker domain are roots there, which is exactly
+   how the work was actually scheduled. *)
+
+type event = {
+  id : int;
+  parent : int option;
+  name : string;
+  cat : string;
+  domain : int;
+  t0 : float;  (* seconds, Unix epoch *)
+  t1 : float;
+  attrs : (string * string) list;
+}
+
+type span = { span_id : int; mutable extra : (string * string) list; live : bool }
+
+let null_span = { span_id = 0; extra = []; live = false }
+
+(* ---------------- global sink ---------------- *)
+
+let enabled_flag = Atomic.make false
+let next_id = Atomic.make 1
+let registry_lock = Mutex.create ()
+
+(* One completed-span buffer per domain that ever traced; kept after the
+   domain dies so its spans survive until export. *)
+let buffers : event list ref list ref = ref []
+
+type dstate = { mutable stack : int list; buf : event list ref }
+
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let buf = ref [] in
+      Mutex.lock registry_lock;
+      buffers := buf :: !buffers;
+      Mutex.unlock registry_lock;
+      { stack = []; buf })
+
+let enabled () = Atomic.get enabled_flag
+
+let clear () =
+  Mutex.lock registry_lock;
+  List.iter (fun b -> b := []) !buffers;
+  Mutex.unlock registry_lock
+
+let start () =
+  clear ();
+  Atomic.set enabled_flag true
+
+let stop () = Atomic.set enabled_flag false
+
+let events () =
+  Mutex.lock registry_lock;
+  let all = List.concat_map (fun b -> !b) !buffers in
+  Mutex.unlock registry_lock;
+  List.sort (fun a b -> compare (a.t0, a.id) (b.t0, b.id)) all
+
+(* ---------------- spans ---------------- *)
+
+let add_attrs span kvs = if span.live then span.extra <- span.extra @ kvs
+
+let with_span ?(cat = "") ?attrs name f =
+  if not (Atomic.get enabled_flag) then f null_span
+  else begin
+    let d = Domain.DLS.get dls in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent = match d.stack with [] -> None | p :: _ -> Some p in
+    d.stack <- id :: d.stack;
+    let span = { span_id = id; extra = []; live = true } in
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      (match d.stack with s :: rest when s = id -> d.stack <- rest | _ -> ());
+      let attrs =
+        (match attrs with None -> [] | Some thunk -> thunk ()) @ span.extra
+      in
+      d.buf :=
+        { id; parent; name; cat; domain = (Domain.self () :> int); t0; t1; attrs }
+        :: !(d.buf)
+    in
+    Fun.protect ~finally:finish (fun () -> f span)
+  end
+
+let timed ?cat ?attrs name f =
+  let t0 = Unix.gettimeofday () in
+  let r = with_span ?cat ?attrs name f in
+  (r, Unix.gettimeofday () -. t0)
+
+let instant ?(cat = "") ?(attrs = []) name =
+  if Atomic.get enabled_flag then begin
+    let d = Domain.DLS.get dls in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent = match d.stack with [] -> None | p :: _ -> Some p in
+    let t = Unix.gettimeofday () in
+    d.buf :=
+      { id; parent; name; cat; domain = (Domain.self () :> int); t0 = t; t1 = t; attrs }
+      :: !(d.buf)
+  end
+
+(* Run [f] with tracing enabled on a fresh sink; return its value and the
+   merged events, restoring the previous sink state afterwards. *)
+let collect f =
+  let was = enabled () in
+  start ();
+  let finish () =
+    stop ();
+    if was then Atomic.set enabled_flag true
+  in
+  let r = Fun.protect ~finally:finish f in
+  let evs = events () in
+  (r, evs)

@@ -15,6 +15,7 @@ type t = {
 }
 
 let of_contraction contraction =
+  Obs.Trace.with_span ~cat:"octopi" "octopi.variants" @@ fun span ->
   let plans = Plan.enumerate contraction in
   let variants =
     List.mapi
@@ -23,6 +24,14 @@ let of_contraction contraction =
         { id; plan; ops; schedule = Fusion.analyze ops; flops = Plan.flops plan })
       plans
   in
+  Obs.Trace.add_attrs span
+    [
+      ("output", contraction.Contraction.output);
+      ("variants", string_of_int (List.length variants));
+      ( "min_flops",
+        string_of_int
+          (List.fold_left (fun acc (v : variant) -> min acc v.flops) max_int variants) );
+    ];
   { contraction; variants }
 
 (* Parse a DSL program and produce variants per statement. Most benchmarks

@@ -112,13 +112,31 @@ let restore_hit t (canon : Canonical.t) (entry : Tuning_cache.entry) =
 
 (* ------------------------------------------------------------------ *)
 
+(* One wall-clock measurement per phase, recorded once and fed to both the
+   trace sink (a span, when tracing is on) and the Metrics timer - the
+   replacement for the hand-rolled gettimeofday pairs this path used to
+   duplicate per call site. *)
+let phase t name f =
+  let r, wall = Obs.Trace.timed ~cat:"service" name (fun _ -> f ()) in
+  Metrics.observe t.metrics name wall;
+  r
+
+(* Per-request serve-path timing: the span carries the canonical key, the
+   returned wall time is what the response reports and what the
+   "request.wall" timer observes (once, in the response loop). *)
+let serve_timed name ~key f = Obs.Trace.timed ~cat:"service" ~attrs:(fun () -> [ ("key", key) ]) name (fun _ -> f ())
+
 (* The batch protocol: canonicalize -> dedup -> serve hits -> tune unique
    cold keys (in parallel when there are several) -> store -> respond in
    request order. *)
 let batch t (requests : request list) =
+  Obs.Trace.with_span ~cat:"service"
+    ~attrs:(fun () -> [ ("requests", string_of_int (List.length requests)) ])
+    "service.batch"
+  @@ fun batch_span ->
   Metrics.incr ~by:(List.length requests) t.metrics "requests";
   let canons =
-    Metrics.time t.metrics "phase.canonicalize" (fun () ->
+    phase t "phase.canonicalize" (fun () ->
         List.map (fun r -> (r, Canonical.of_dsl ~arch:t.cfg.arch r.src)) requests)
   in
   (* one representative per canonical key, in first-appearance order *)
@@ -135,7 +153,7 @@ let batch t (requests : request list) =
   in
   (* probe the cache for every unique key *)
   let probed =
-    Metrics.time t.metrics "phase.lookup" (fun () ->
+    phase t "phase.lookup" (fun () ->
         List.map
           (fun (canon : Canonical.t) -> (canon, Tuning_cache.find t.cache canon.key))
           unique_keys)
@@ -143,38 +161,48 @@ let batch t (requests : request list) =
   let hits = List.filter_map (fun (c, e) -> Option.map (fun e -> (c, e)) e) probed in
   let cold = List.filter_map (fun (c, e) -> if e = None then Some c else None) probed in
   Metrics.incr ~by:(List.length cold) t.metrics "tune.cold";
+  Obs.Trace.add_attrs batch_span
+    [
+      ("unique", string_of_int (List.length unique_keys));
+      ("cold", string_of_int (List.length cold));
+    ];
   (* serve hits: restore is ~one measurement, done sequentially *)
   let hit_results =
     List.map
       (fun ((canon : Canonical.t), ((entry : Tuning_cache.entry), source)) ->
-        let t0 = Unix.gettimeofday () in
-        let result =
-          Metrics.time t.metrics "phase.restore" (fun () -> restore_hit t canon entry)
+        let result, wall =
+          serve_timed "phase.restore" ~key:canon.key (fun () ->
+              restore_hit t canon entry)
         in
+        Metrics.observe t.metrics "phase.restore" wall;
         let served = match source with Tuning_cache.Memory -> Memory_hit | Disk -> Disk_hit in
-        (canon.key, (served, result, Unix.gettimeofday () -. t0)))
+        (canon.key, (served, result, wall)))
       hits
   in
   (* tune the cold keys: across domains when several, inside SURF when one *)
   let cold_results =
-    Metrics.time t.metrics "phase.tune" (fun () ->
+    phase t "phase.tune" (fun () ->
         match cold with
         | [] -> []
         | [ canon ] ->
-          let t0 = Unix.gettimeofday () in
-          let r = tune_canonical t ~inner_parallel:true canon in
-          [ (canon.key, (Tuned, r, Unix.gettimeofday () -. t0)) ]
+          let r, wall =
+            serve_timed "service.tune" ~key:canon.key (fun () ->
+                tune_canonical t ~inner_parallel:true canon)
+          in
+          [ (canon.key, (Tuned, r, wall)) ]
         | _ ->
           Scheduler.map t.sched
             (fun (canon : Canonical.t) ->
-              let t0 = Unix.gettimeofday () in
-              let r = tune_canonical t ~inner_parallel:false canon in
-              (canon.key, (Tuned, r, Unix.gettimeofday () -. t0)))
+              let r, wall =
+                serve_timed "service.tune" ~key:canon.key (fun () ->
+                    tune_canonical t ~inner_parallel:false canon)
+              in
+              (canon.key, (Tuned, r, wall)))
             cold)
   in
   (* store fresh artifacts (main domain: the cache mutex is cheap, but
      write-through happens once per key, in batch order) *)
-  Metrics.time t.metrics "phase.store" (fun () ->
+  phase t "phase.store" (fun () ->
       List.iter
         (fun (key, ((_, result, _) : served * Autotune.Tuner.result * float)) ->
           Tuning_cache.store t.cache ~key (Autotune.Store.of_result result))
@@ -213,6 +241,25 @@ let tune t (req : request) =
   match batch t [ req ] with [ r ] -> r | _ -> assert false
 
 let tune_dsl ?(label = "tc") t src = tune t { label; src }
+
+(* Prometheus text exposition of the service metrics plus cache gauges. *)
+let prometheus_report t =
+  let s = cache_stats t in
+  Metrics.prometheus t.metrics
+  ^ Obs.Export.prometheus ~prefix:"barracuda_cache"
+      ~counters:
+        [
+          ("hits", s.hits); ("disk_loads", s.disk_loads); ("misses", s.misses);
+          ("corrupt", s.corrupt); ("stores", s.stores); ("evictions", s.evictions);
+          ("front", Tuning_cache.size t.cache);
+        ]
+      ~timers:[] ()
+
+(* Human-readable SURF convergence report for one response (empty history
+   for cache hits: no search ran). *)
+let convergence_report (r : response) =
+  Obs.Search_log.render ~label:(r.label ^ " [" ^ served_name r.served ^ "]")
+    r.result.Autotune.Tuner.iterations
 
 (* Render the service-side view: metrics plus cache counters. *)
 let stats_report t =

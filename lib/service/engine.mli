@@ -66,3 +66,10 @@ val tune_dsl : ?label:string -> t -> string -> response
 
 (** Rendered metrics plus cache counters. *)
 val stats_report : t -> string
+
+(** Prometheus text exposition of the service metrics and cache gauges. *)
+val prometheus_report : t -> string
+
+(** Human-readable SURF convergence report for one response; notes when no
+    search ran (cache hits carry no iterations). *)
+val convergence_report : response -> string

@@ -50,6 +50,8 @@ type timer_summary = {
   total_s : float;
   mean_s : float;
   median_s : float;
+  p90_s : float;
+  p99_s : float;
   min_s : float;
   max_s : float;
   stddev_s : float;
@@ -61,6 +63,8 @@ let summarize_timer samples =
     total_s = List.fold_left ( +. ) 0.0 samples;
     mean_s = Util.Stats.mean samples;
     median_s = Util.Stats.median samples;
+    p90_s = Util.Stats.percentile 90.0 samples;
+    p99_s = Util.Stats.percentile 99.0 samples;
     min_s = Util.Stats.min_list samples;
     max_s = Util.Stats.max_list samples;
     stddev_s = Util.Stats.stddev samples;
@@ -70,6 +74,15 @@ let summaries t =
   locked t (fun () ->
       Hashtbl.fold (fun name r acc -> (name, summarize_timer (List.rev !r)) :: acc) t.timers []
       |> List.sort compare)
+
+let all_observations t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, List.rev !r) :: acc) t.timers []
+      |> List.sort compare)
+
+(* Prometheus text exposition of everything in the registry. *)
+let prometheus ?prefix t =
+  Obs.Export.prometheus ?prefix ~counters:(counters t) ~timers:(all_observations t) ()
 
 (* Fixed decade buckets: service latencies span microseconds (cache hits)
    to tens of seconds (cold tunes). *)
@@ -120,8 +133,9 @@ let render t =
     List.iter
       (fun (name, s) ->
         Buffer.add_string b
-          (Printf.sprintf "  %-28s n=%-4d total %8.3fs  mean %8.4fs  median %8.4fs  max %8.4fs\n"
-             name s.count s.total_s s.mean_s s.median_s s.max_s);
+          (Printf.sprintf
+             "  %-28s n=%-4d total %8.3fs  mean %8.4fs  median %8.4fs  p90 %8.4fs  p99 %8.4fs  max %8.4fs\n"
+             name s.count s.total_s s.mean_s s.median_s s.p90_s s.p99_s s.max_s);
         let hist =
           histogram t name
           |> List.filter (fun (_, n) -> n > 0)

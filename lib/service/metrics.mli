@@ -28,12 +28,21 @@ type timer_summary = {
   total_s : float;
   mean_s : float;
   median_s : float;
+  p90_s : float;  (** {!Util.Stats.percentile} 90 *)
+  p99_s : float;  (** {!Util.Stats.percentile} 99 *)
   min_s : float;
   max_s : float;
   stddev_s : float;
 }
 
 val summaries : t -> (string * timer_summary) list
+
+(** All timers with their recorded durations, oldest first, sorted by name. *)
+val all_observations : t -> (string * float list) list
+
+(** Prometheus text exposition of all counters and timers
+    (see {!Obs.Export.prometheus}). *)
+val prometheus : ?prefix:string -> t -> string
 
 (** Decade buckets from 100us to 10s: [("<100us", n); ...; (">=10s", n)].
     Cache hits land in the microsecond buckets, cold tunes in the second

@@ -15,6 +15,7 @@ type 'a result = {
   history : 'a evaluation list;  (* in evaluation order *)
   evaluations : int;
   pool_size : int;
+  iterations : Obs.Search_log.iteration list;  (* per-batch telemetry *)
 }
 
 type config = {
@@ -31,12 +32,13 @@ let best_of history =
   | e :: rest ->
     List.fold_left (fun acc e -> if e.objective < acc.objective then e else acc) e rest
 
-let make_result ~pool_size history =
+let make_result ?(iterations = []) ~pool_size history =
   {
     best = best_of history;
     history = List.rev history;
     evaluations = List.length history;
     pool_size;
+    iterations;
   }
 
 (* Exhaustive evaluation: the brute-force baseline of prior work [25]. *)
@@ -69,11 +71,22 @@ let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
   let eval_batch = match eval_batch with Some f -> f | None -> List.map eval in
   let nmax = min config.max_evals pool_size in
   let bs = max 1 (min config.batch_size nmax) in
+  Obs.Trace.with_span ~cat:"surf"
+    ~attrs:(fun () ->
+      [
+        ("pool_size", string_of_int pool_size);
+        ("max_evals", string_of_int nmax);
+        ("batch_size", string_of_int bs);
+      ])
+    "surf.search"
+  @@ fun search_span ->
   let remaining = ref (Array.to_list pool) in
   let history = ref [] in
+  let iterations = ref [] in
+  let iter_no = ref 0 in
   (* Hard budget clamp: however a batch was proposed, never evaluate past
      [nmax], so [batch_size] exceeding the remaining budget cannot
-     overshoot [max_evals]. *)
+     overshoot [max_evals]. Returns the objectives actually evaluated. *)
   let evaluate configs =
     let left = nmax - List.length !history in
     let configs = List.filteri (fun i _ -> i < left) configs in
@@ -81,29 +94,75 @@ let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
     List.iter2
       (fun c objective -> history := { config = c; objective } :: !history)
       configs objectives;
-    remaining := List.filter (fun c -> not (List.memq c configs)) !remaining
+    remaining := List.filter (fun c -> not (List.memq c configs)) !remaining;
+    objectives
+  in
+  (* Convergence telemetry: one record per batch. [predicted], when given,
+     is the surrogate's prediction for each evaluated configuration, in
+     batch order; its agreement with the measured objectives
+     (Util.Stats.r_squared) is the logged surrogate quality. *)
+  let log_iteration ?predicted span objectives =
+    match objectives with
+    | [] -> ()
+    | _ ->
+      let best_so_far =
+        List.fold_left (fun acc e -> min acc e.objective) infinity !history
+      in
+      let r2 =
+        Option.map
+          (fun preds ->
+            let preds = List.filteri (fun i _ -> i < List.length objectives) preds in
+            Util.Stats.r_squared ~actual:objectives ~predicted:preds)
+          predicted
+      in
+      let it =
+        {
+          Obs.Search_log.iter = !iter_no;
+          batch = List.length objectives;
+          evaluations = List.length !history;
+          pool_size;
+          best_so_far;
+          batch_best = Util.Stats.min_list objectives;
+          batch_mean = Util.Stats.mean objectives;
+          r2;
+        }
+      in
+      iterations := it :: !iterations;
+      incr iter_no;
+      Obs.Trace.add_attrs span (Obs.Search_log.span_attrs it)
   in
   (* line 1-2: initial random batch *)
-  let initial =
-    Array.to_list (Util.Rng.sample_without_replacement rng bs (Array.of_list !remaining))
-  in
-  evaluate initial;
-  (* lines 5-12: iterative model-guided batches *)
+  Obs.Trace.with_span ~cat:"surf" "surf.iteration" (fun span ->
+      let initial =
+        Array.to_list
+          (Util.Rng.sample_without_replacement rng bs (Array.of_list !remaining))
+      in
+      log_iteration span (evaluate initial));
+  (* lines 5-12: iterative model-guided batches, one span per refit *)
   let continue () = List.length !history < nmax && !remaining <> [] in
   while continue () do
-    let x =
-      Array.of_list (List.rev_map (fun e -> encode e.config) !history)
-    in
-    let y = Array.of_list (List.rev_map (fun e -> e.objective) !history) in
-    let model = Forest.fit ~params:config.forest (Util.Rng.split rng) x y in
-    let scored =
-      List.map (fun c -> (Forest.predict model (encode c), c)) !remaining
-    in
-    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
-    let batch = List.filteri (fun i _ -> i < bs) sorted |> List.map snd in
-    evaluate batch
+    Obs.Trace.with_span ~cat:"surf" "surf.iteration" (fun span ->
+        let x =
+          Array.of_list (List.rev_map (fun e -> encode e.config) !history)
+        in
+        let y = Array.of_list (List.rev_map (fun e -> e.objective) !history) in
+        let model = Forest.fit ~params:config.forest (Util.Rng.split rng) x y in
+        let scored =
+          List.map (fun c -> (Forest.predict model (encode c), c)) !remaining
+        in
+        let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
+        let chosen = List.filteri (fun i _ -> i < bs) sorted in
+        let batch = List.map snd chosen in
+        let predicted = List.map fst chosen in
+        log_iteration ~predicted span (evaluate batch))
   done;
-  make_result ~pool_size !history
+  let result = make_result ~iterations:(List.rev !iterations) ~pool_size !history in
+  Obs.Trace.add_attrs search_span
+    [
+      ("evaluations", string_of_int result.evaluations);
+      ("best", Printf.sprintf "%.6g" result.best.objective);
+    ];
+  result
 
 (* Best objective after each evaluation; used to compare convergence of
    search strategies. *)

@@ -12,6 +12,9 @@ type 'a result = {
   history : 'a evaluation list;  (** in evaluation order *)
   evaluations : int;
   pool_size : int;
+  iterations : Obs.Search_log.iteration list;
+      (** per-batch convergence telemetry (best-so-far, pool coverage,
+          surrogate R-squared); empty for the non-iterative baselines *)
 }
 
 type config = {

@@ -86,6 +86,7 @@ let reduction_orders (op : Ir.op) =
         List.mapi (fun i _ -> List.nth reductions ((i + r) mod n)) reductions)
 
 let derive ?unroll_factors (t : Ir.t) (op : Ir.op) =
+  Obs.Trace.with_span ~cat:"tcr" "tcr.decision" @@ fun span ->
   let parallel = parallel_indices op in
   let tx =
     List.filter (fun i -> List.mem i parallel) (Access.unit_stride_indices op)
@@ -115,11 +116,22 @@ let derive ?unroll_factors (t : Ir.t) (op : Ir.op) =
       let e = Ir.extent t loop in
       List.init (min e max_unroll_factor) (fun i -> i + 1)
   in
-  {
-    tx;
-    ty = pool @ [ one ];
-    bx = pool;
-    by = pool @ [ one ];
-    unroll_loops = List.map (fun l -> (l, factors_for l)) serial_loops;
-    red_orders = reduction_orders op;
-  }
+  let c =
+    {
+      tx;
+      ty = pool @ [ one ];
+      bx = pool;
+      by = pool @ [ one ];
+      unroll_loops = List.map (fun l -> (l, factors_for l)) serial_loops;
+      red_orders = reduction_orders op;
+    }
+  in
+  Obs.Trace.add_attrs span
+    [
+      ("out", op.out);
+      ("tx", string_of_int (List.length c.tx));
+      ("pool", string_of_int (List.length pool));
+      ("unroll_loops", string_of_int (List.length c.unroll_loops));
+      ("red_orders", string_of_int (List.length c.red_orders));
+    ];
+  c

@@ -132,10 +132,23 @@ let features t point =
 type program_space = { ir : Ir.t; op_spaces : t list }
 
 let of_ir ?max_threads_per_block ir =
-  {
-    ir;
-    op_spaces = List.mapi (fun i _ -> make ?max_threads_per_block ir i) ir.Ir.ops;
-  }
+  Obs.Trace.with_span ~cat:"tcr" "tcr.space" @@ fun span ->
+  let ps =
+    {
+      ir;
+      op_spaces = List.mapi (fun i _ -> make ?max_threads_per_block ir i) ir.Ir.ops;
+    }
+  in
+  (* counting enumerates each op's decompositions: only pay when tracing *)
+  if Obs.Trace.enabled () then
+    Obs.Trace.add_attrs span
+      [
+        ("label", ir.Ir.label);
+        ("ops", string_of_int (List.length ps.op_spaces));
+        ( "program_count",
+          string_of_int (List.fold_left (fun acc s -> acc * count s) 1 ps.op_spaces) );
+      ];
+  ps
 
 (* Size of the cross-product space (what the paper reports: e.g. 512,000
    tensor-code variants for Lg3t). *)

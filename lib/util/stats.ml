@@ -31,6 +31,22 @@ let median xs =
     let n = Array.length arr in
     if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
 
+(* Percentile with linear interpolation between order statistics (the
+   rank is p/100 * (n-1)), so percentile 0 = min, 50 = median, 100 = max. *)
+let percentile p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
+  match xs with
+  | [] -> nan
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else arr.(lo) +. ((rank -. float_of_int lo) *. (arr.(hi) -. arr.(lo)))
+
 (* Index of the minimizing element. *)
 let argmin f = function
   | [] -> invalid_arg "Stats.argmin: empty"

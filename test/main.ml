@@ -4,6 +4,7 @@ let () =
   Alcotest.run "barracuda"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("tensor", Test_tensor.suite);
       ("octopi", Test_octopi.suite);
       ("tcr", Test_tcr.suite);

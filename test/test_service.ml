@@ -415,6 +415,50 @@ let test_metrics_counters_and_histogram () =
   check_bool "render mentions the counter" true
     (contains_sub (Service.Metrics.render m) "a")
 
+let test_histogram_decade_edges () =
+  (* an observation exactly on a decade boundary belongs to the bucket it
+     opens: semantics are [lo, hi) with an unbounded last bucket *)
+  let m = Service.Metrics.create () in
+  List.iter (Service.Metrics.observe m "edge") [ 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 ];
+  let h = Service.Metrics.histogram m "edge" in
+  let count label = List.assoc label h in
+  check_int "below 100us empty" 0 (count "<100us");
+  check_int "100us lands in [100us,1ms)" 1 (count "100us-1ms");
+  check_int "1ms lands in [1ms,10ms)" 1 (count "1ms-10ms");
+  check_int "10ms lands in [10ms,100ms)" 1 (count "10ms-100ms");
+  check_int "100ms lands in [100ms,1s)" 1 (count "100ms-1s");
+  check_int "1s lands in [1s,10s)" 1 (count "1s-10s");
+  check_int "10s lands in the open tail" 1 (count ">=10s");
+  (* just under a boundary stays in the lower bucket *)
+  Service.Metrics.observe m "edge" (1e-3 -. 1e-9);
+  let h = Service.Metrics.histogram m "edge" in
+  check_int "sub-boundary stays below" 2 (List.assoc "100us-1ms" h)
+
+let test_timer_summary_tail_quantiles () =
+  let m = Service.Metrics.create () in
+  (* 1ms .. 100ms in 1ms steps *)
+  for i = 1 to 100 do
+    Service.Metrics.observe m "lat" (float_of_int i /. 1000.0)
+  done;
+  let s = List.assoc "lat" (Service.Metrics.summaries m) in
+  check_bool "p90 between p50 and p99" true (s.median_s <= s.p90_s && s.p90_s <= s.p99_s);
+  check_bool "p90 near 90ms" true (abs_float (s.p90_s -. 0.0901) < 1e-3);
+  check_bool "p99 near 99ms" true (abs_float (s.p99_s -. 0.0990) < 1e-3);
+  check_bool "p99 bounded by max" true (s.p99_s <= s.max_s);
+  check_bool "render shows tail quantiles" true
+    (contains_sub (Service.Metrics.render m) "p99")
+
+let test_prometheus_report () =
+  let svc = service_with 1 in
+  ignore (Service.Engine.tune_dsl svc eqn1_src);
+  ignore (Service.Engine.tune_dsl svc eqn1_src);
+  let s = Service.Engine.prometheus_report svc in
+  check_bool "service counters exported" true
+    (contains_sub s "barracuda_requests_total 2");
+  check_bool "cache hit gauge exported" true (contains_sub s "barracuda_cache_hits_total 1");
+  check_bool "timers exported as summaries" true
+    (contains_sub s "barracuda_request_wall_seconds_count")
+
 let suite =
   [
     ("canonical: renaming invariant", `Quick, test_canonical_renaming_invariant);
@@ -439,4 +483,7 @@ let suite =
     ("engine: hit emits identical cuda", `Quick, test_engine_hit_emits_identical_cuda);
     ("engine: renaming reported", `Quick, test_engine_renaming_reported);
     ("metrics: counters + histogram", `Quick, test_metrics_counters_and_histogram);
+    ("metrics: histogram decade edges", `Quick, test_histogram_decade_edges);
+    ("metrics: p90/p99 tail quantiles", `Quick, test_timer_summary_tail_quantiles);
+    ("engine: prometheus report", `Quick, test_prometheus_report);
   ]

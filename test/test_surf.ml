@@ -217,6 +217,35 @@ let test_convergence_curve_monotone () =
   in
   Alcotest.(check bool) "non-increasing" true (non_increasing curve)
 
+let test_surf_convergence_telemetry () =
+  (* convergence regression on a fixed-seed search: the per-iteration log
+     must cover the whole budget, keep best-so-far non-increasing, and end
+     exactly at the reported winner *)
+  let cfg = { Surf.Search.default_config with max_evals = 40; batch_size = 8 } in
+  let r = Surf.Search.surf ~config:cfg (Util.Rng.create 12) ~pool:pool_100 ~encode ~eval:objective in
+  let its = r.iterations in
+  check_int "an initial batch plus refits" 5 (List.length its);
+  Alcotest.(check bool) "best-so-far non-increasing" true (Obs.Search_log.monotone its);
+  let last = List.nth its (List.length its - 1) in
+  check_int "log accounts for every evaluation" r.evaluations last.evaluations;
+  Alcotest.(check (float 1e-12)) "final best-so-far is the winner" r.best.objective
+    last.Obs.Search_log.best_so_far;
+  let first = List.hd its in
+  Alcotest.(check bool) "random batch has no R^2" true (first.r2 = None);
+  Alcotest.(check bool) "every refit reports R^2" true
+    (List.for_all (fun (it : Obs.Search_log.iteration) -> it.r2 <> None) (List.tl its));
+  List.iter
+    (fun (it : Obs.Search_log.iteration) ->
+      Alcotest.(check bool) "coverage within [0,1]" true
+        (Obs.Search_log.coverage it >= 0.0 && Obs.Search_log.coverage it <= 1.0))
+    its;
+  (* telemetry must not perturb the search: same seed, same winner *)
+  let r2 = Surf.Search.surf ~config:cfg (Util.Rng.create 12) ~pool:pool_100 ~encode ~eval:objective in
+  check_int "rerun reproduces the winner" r.best.config r2.best.config;
+  (* non-iterative strategies carry no iterations *)
+  let rnd = Surf.Search.random_search (Util.Rng.create 9) ~pool:pool_100 ~eval:objective ~max_evals:10 in
+  check_int "random search logs nothing" 0 (List.length rnd.iterations)
+
 let test_surf_categorical_problem () =
   (* binarized categorical search: find the best (tx, unroll) combo *)
   let pool =
@@ -257,5 +286,6 @@ let suite =
     ("surf small pool", `Quick, test_surf_small_pool);
     ("surf beats random on structured", `Slow, test_surf_beats_random_on_structured);
     ("convergence curve monotone", `Quick, test_convergence_curve_monotone);
+    ("surf convergence telemetry", `Quick, test_surf_convergence_telemetry);
     ("surf categorical problem", `Quick, test_surf_categorical_problem);
   ]

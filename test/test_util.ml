@@ -139,6 +139,23 @@ let test_min_max () =
 let test_argmin () =
   check_int "argmin" 1 (Util.Stats.argmin (fun x -> x *. x) [ 3.0; 0.5; -2.0 ])
 
+let test_percentile () =
+  let xs = [ 4.0; 1.0; 3.0; 2.0 ] in
+  check_float "p0 is min" 1.0 (Util.Stats.percentile 0.0 xs);
+  check_float "p100 is max" 4.0 (Util.Stats.percentile 100.0 xs);
+  check_float "p50 matches median" (Util.Stats.median xs) (Util.Stats.percentile 50.0 xs);
+  (* linear interpolation: rank 0.9 * 3 = 2.7 between 3.0 and 4.0 *)
+  check_float "p90 interpolates" 3.7 (Util.Stats.percentile 90.0 xs);
+  check_float "singleton" 5.0 (Util.Stats.percentile 75.0 [ 5.0 ]);
+  Alcotest.(check bool) "empty list is nan" true
+    (Float.is_nan (Util.Stats.percentile 50.0 []));
+  Alcotest.check_raises "p > 100 rejected"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Util.Stats.percentile 101.0 xs));
+  Alcotest.check_raises "p < 0 rejected"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Util.Stats.percentile (-1.0) xs))
+
 let test_r_squared () =
   let actual = [ 1.0; 2.0; 3.0 ] in
   check_float "perfect fit" 1.0 (Util.Stats.r_squared ~actual ~predicted:actual);
@@ -184,6 +201,7 @@ let suite =
     ("variance and stddev", `Quick, test_variance);
     ("min max", `Quick, test_min_max);
     ("argmin", `Quick, test_argmin);
+    ("percentile", `Quick, test_percentile);
     ("r squared", `Quick, test_r_squared);
     ("table render", `Quick, test_table_render);
     ("table cell formatting", `Quick, test_cell_f);
