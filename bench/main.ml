@@ -4,66 +4,152 @@
    scaled-down version of it.
 
    Usage:
-     bench/main.exe                 regenerate everything + bechamel suite
-     bench/main.exe claims          Section III variant claims
-     bench/main.exe space           Section V search-space sizes
-     bench/main.exe table2|table3|table4|figure3|surf-vs-brute
-     bench/main.exe bechamel        only the Bechamel suite
+     bench/main.exe [EXPERIMENT...] [FLAGS]
 
-   With --trace-dir=DIR (anywhere on the command line), every experiment
-   runs with pipeline tracing enabled and writes DIR/<name>.trace.json, a
-   Chrome trace-event file loadable in chrome://tracing / Perfetto. *)
+   Experiments (none = all, in the order below):
+     claims space table2 table3 table4 figure3 surf-vs-brute ablation
+     modelcheck motivation sweep service bechamel
 
-(* Parsed once at startup; the flag is stripped from the argv the
-   experiment dispatch below sees. *)
-let trace_dir, argv =
-  let dir = ref None in
-  let rest =
-    Array.to_list Sys.argv
-    |> List.filter (fun a ->
-           let prefix = "--trace-dir=" in
-           if String.length a > String.length prefix
-              && String.sub a 0 (String.length prefix) = prefix
-           then begin
-             dir := Some (String.sub a (String.length prefix)
-                            (String.length a - String.length prefix));
-             false
-           end
-           else true)
+   Flags compose with any experiment selection; unknown --flags are an
+   error, not a silently ignored subcommand:
+     --trace-dir=DIR    trace every experiment; write DIR/<name>.trace.json
+                        (Chrome trace-event, loadable in chrome://tracing);
+                        nested DIRs are created recursively
+     --json-out=FILE    write a benchmark artifact (Obs.Bench_log JSON):
+                        per-experiment wall time, raw Bechamel samples and
+                        OLS estimates, service latency quantiles, and
+                        pipeline span timings aggregated from the trace
+     --compare=FILE     after running, compare against the baseline
+                        artifact in FILE (e.g. bench/baseline.json); print
+                        a delta table and exit 1 on a statistically
+                        significant slowdown (Mann-Whitney + bootstrap CI
+                        over raw samples, see Util.Stats.compare_samples)
+     --compare-threshold=R  minimum median ratio to call a regression
+                        (default 1.5; CI uses a generous value so shared
+                        runners only gate on order-of-magnitude slowdowns)
+     --compare-alpha=A  significance level of the gate (default 0.01) *)
+
+type options = {
+  trace_dir : string option;
+  json_out : string option;
+  compare_to : string option;
+  threshold : float;
+  alpha : float;
+}
+
+let default_options =
+  { trace_dir = None; json_out = None; compare_to = None; threshold = 1.5; alpha = 0.01 }
+
+let experiment_names =
+  [ "claims"; "space"; "table2"; "table3"; "table4"; "figure3"; "surf-vs-brute";
+    "ablation"; "modelcheck"; "motivation"; "sweep"; "service"; "bechamel" ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [EXPERIMENT...] [--trace-dir=DIR] [--json-out=FILE] \
+     [--compare=FILE] [--compare-threshold=R] [--compare-alpha=A]\n\
+     experiments: %s\n"
+    (String.concat " " experiment_names);
+  exit 2
+
+(* Flag-stripping parser: every --flag (anywhere on the command line) is
+   consumed here, the rest must be experiment names. An unknown --flag is
+   a hard error instead of falling through to the usage as a bogus
+   experiment. *)
+let parse_argv argv =
+  let opts = ref default_options in
+  let positional = ref [] in
+  let split_flag a =
+    match String.index_opt a '=' with
+    | Some i -> (String.sub a 0 i, Some (String.sub a (i + 1) (String.length a - i - 1)))
+    | None -> (a, None)
   in
-  (!dir, Array.of_list rest)
+  let value name = function
+    | Some v when v <> "" -> v
+    | _ ->
+      Printf.eprintf "flag %s requires a value (%s=...)\n" name name;
+      usage ()
+  in
+  let float_value name v =
+    let v = value name v in
+    match float_of_string_opt v with
+    | Some x -> x
+    | None ->
+      Printf.eprintf "flag %s: %S is not a number\n" name v;
+      usage ()
+  in
+  List.iter
+    (fun a ->
+      if String.length a >= 2 && String.sub a 0 2 = "--" then begin
+        let name, v = split_flag a in
+        match name with
+        | "--trace-dir" -> opts := { !opts with trace_dir = Some (value name v) }
+        | "--json-out" -> opts := { !opts with json_out = Some (value name v) }
+        | "--compare" -> opts := { !opts with compare_to = Some (value name v) }
+        | "--compare-threshold" -> opts := { !opts with threshold = float_value name v }
+        | "--compare-alpha" -> opts := { !opts with alpha = float_value name v }
+        | _ ->
+          Printf.eprintf "unknown flag %s\n" name;
+          usage ()
+      end
+      else positional := a :: !positional)
+    (List.tl (Array.to_list argv));
+  (!opts, List.rev !positional)
 
+let opts, selected = parse_argv Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Experiment records accumulated for the benchmark artifact. *)
+
+let records : Obs.Bench_log.experiment list ref = ref []
+
+let push_record r = records := r :: !records
+
+(* Run one experiment: wall-time it, trace it when the trace dir or the
+   JSON artifact needs spans, and record it. [f] returns the latency
+   quantiles to attach (most experiments have none). *)
 let timed name f =
+  let want_spans = opts.trace_dir <> None || opts.json_out <> None in
   let t0 = Unix.gettimeofday () in
-  let r =
-    match trace_dir with
-    | None -> f ()
-    | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let r, events = Obs.Trace.collect f in
-      let path = Filename.concat dir (name ^ ".trace.json") in
-      Obs.Export.write_chrome_trace path events;
-      Printf.printf "[%s trace: %d spans -> %s]\n%!" name (List.length events) path;
-      r
+  let quantiles, events =
+    if want_spans then Obs.Trace.collect f else (f (), [])
   in
-  Printf.printf "[%s regenerated in %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0);
-  r
+  let wall = Unix.gettimeofday () -. t0 in
+  (match opts.trace_dir with
+  | None -> ()
+  | Some dir ->
+    Util.Fs.mkdir_p dir;
+    let path = Filename.concat dir (name ^ ".trace.json") in
+    Obs.Export.write_chrome_trace path events;
+    Printf.printf "[%s trace: %d spans -> %s]\n%!" name (List.length events) path);
+  push_record
+    {
+      Obs.Bench_log.name;
+      wall_s = wall;
+      samples_s = [];
+      ols_s = None;
+      quantiles;
+      spans = Obs.Bench_log.aggregate_spans events;
+    };
+  Printf.printf "[%s regenerated in %.1fs]\n\n%!" name wall
 
 let print_table t =
   Util.Table.print t;
   print_newline ()
 
-let run_claims () = timed "claims" (fun () -> print_table (Tables.claims ()))
-let run_space () = timed "space" (fun () -> print_table (Tables.space_table ()))
-let run_table2 () = timed "table2" (fun () -> print_table (Tables.table2 ()))
-let run_table3 () = timed "table3" (fun () -> print_table (Tables.table3 ()))
-let run_table4 () = timed "table4" (fun () -> print_table (Tables.table4 ()))
-let run_figure3 () = timed "figure3" (fun () -> List.iter print_table (Tables.figure3 ()))
-let run_surf_brute () = timed "surf-vs-brute" (fun () -> print_table (Tables.surf_vs_brute ()))
-let run_ablation () = timed "ablation" (fun () -> print_table (Tables.ablation ()))
-let run_modelcheck () = timed "modelcheck" (fun () -> print_table (Tables.modelcheck ()))
-let run_motivation () = timed "motivation" (fun () -> print_table (Tables.motivation ()))
-let run_sweep () = timed "sweep" (fun () -> print_table (Tables.sweep ()))
+let table name mk = timed name (fun () -> print_table (mk ()); [])
+
+let run_claims () = table "claims" Tables.claims
+let run_space () = table "space" Tables.space_table
+let run_table2 () = table "table2" Tables.table2
+let run_table3 () = table "table3" Tables.table3
+let run_table4 () = table "table4" Tables.table4
+let run_figure3 () = timed "figure3" (fun () -> List.iter print_table (Tables.figure3 ()); [])
+let run_surf_brute () = table "surf-vs-brute" Tables.surf_vs_brute
+let run_ablation () = table "ablation" Tables.ablation
+let run_modelcheck () = table "modelcheck" Tables.modelcheck
+let run_motivation () = table "motivation" Tables.motivation
+let run_sweep () = table "sweep" Tables.sweep
 let run_service () = timed "service" (fun () -> Service_bench.run ())
 
 (* ------------------------------------------------------------------ *)
@@ -128,6 +214,19 @@ let bechamel_tests =
     Test.make ~name:"surf-vs-brute:model-search" (Staged.stage bench_surf_brute);
   ]
 
+let clock_label = "monotonic-clock"
+
+(* Raw per-run seconds of each Bechamel measurement: total clock ns of the
+   sample divided by its run count. These feed the statistical comparator,
+   which works on sample sets, not point estimates. *)
+let raw_samples (result : Bechamel.Benchmark.t) =
+  Array.to_list result.lr
+  |> List.filter_map (fun m ->
+         let runs = Bechamel.Measurement_raw.run m in
+         if runs <= 0.0 || not (Bechamel.Measurement_raw.exists ~label:clock_label m)
+         then None
+         else Some (Bechamel.Measurement_raw.get ~label:clock_label m /. runs /. 1e9))
+
 let run_bechamel () =
   let open Bechamel in
   let cfg =
@@ -139,52 +238,91 @@ let run_bechamel () =
     (fun test ->
       List.iter
         (fun elt ->
+          let t0 = Unix.gettimeofday () in
           let result = Benchmark.run cfg [ instance ] elt in
+          let wall = Unix.gettimeofday () -. t0 in
           let ols =
-            Analyze.OLS.ols ~bootstrap:0 ~r_square:false ~responder:"monotonic-clock"
+            Analyze.OLS.ols ~bootstrap:0 ~r_square:false ~responder:clock_label
               ~predictors:[| "run" |] result.lr
           in
           let estimate =
             match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
           in
+          push_record
+            {
+              Obs.Bench_log.name = "bechamel:" ^ Test.Elt.name elt;
+              wall_s = wall;
+              samples_s = raw_samples result;
+              ols_s = (if Float.is_nan estimate then None else Some (estimate /. 1e9));
+              quantiles = [];
+              spans = [];
+            };
           Printf.printf "  %-40s %10.3f ms/run (%d samples)\n%!" (Test.Elt.name elt)
             (estimate /. 1e6) result.stats.samples)
         (Test.elements test))
     bechamel_tests;
   print_newline ()
 
-let run_all () =
-  run_claims ();
-  run_space ();
-  run_table2 ();
-  run_table3 ();
-  run_table4 ();
-  run_figure3 ();
-  run_surf_brute ();
-  run_ablation ();
-  run_modelcheck ();
-  run_motivation ();
-  run_sweep ();
-  run_service ();
-  run_bechamel ()
+(* ------------------------------------------------------------------ *)
+(* Dispatch, artifact output, regression gate. *)
+
+let runners =
+  [
+    ("claims", run_claims);
+    ("space", run_space);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("table4", run_table4);
+    ("figure3", run_figure3);
+    ("surf-vs-brute", run_surf_brute);
+    ("ablation", run_ablation);
+    ("modelcheck", run_modelcheck);
+    ("motivation", run_motivation);
+    ("sweep", run_sweep);
+    ("service", run_service);
+    ("bechamel", run_bechamel);
+  ]
+
+let finalize () =
+  let current = Obs.Bench_log.make (List.rev !records) in
+  (match opts.json_out with
+  | None -> ()
+  | Some path ->
+    Obs.Bench_log.write path current;
+    Printf.printf "wrote %s (%d experiment records)\n%!" path
+      (List.length current.experiments));
+  match opts.compare_to with
+  | None -> ()
+  | Some path -> (
+    match Obs.Bench_log.read path with
+    | Error msg ->
+      Printf.eprintf "cannot read baseline %s: %s\n" path msg;
+      exit 2
+    | Ok baseline ->
+      let deltas =
+        Obs.Bench_log.compare_artifacts ~alpha:opts.alpha ~min_ratio:opts.threshold
+          ~baseline ~current ()
+      in
+      print_string (Obs.Bench_log.render_deltas deltas);
+      if Obs.Bench_log.gate deltas then print_endline "regression gate: PASS"
+      else begin
+        print_endline "regression gate: FAIL (significant slowdown vs baseline)";
+        exit 1
+      end)
 
 let () =
-  match argv with
-  | [| _ |] -> run_all ()
-  | [| _; "claims" |] -> run_claims ()
-  | [| _; "space" |] -> run_space ()
-  | [| _; "table2" |] -> run_table2 ()
-  | [| _; "table3" |] -> run_table3 ()
-  | [| _; "table4" |] -> run_table4 ()
-  | [| _; "figure3" |] -> run_figure3 ()
-  | [| _; "surf-vs-brute" |] -> run_surf_brute ()
-  | [| _; "ablation" |] -> run_ablation ()
-  | [| _; "modelcheck" |] -> run_modelcheck ()
-  | [| _; "motivation" |] -> run_motivation ()
-  | [| _; "sweep" |] -> run_sweep ()
-  | [| _; "service" |] -> run_service ()
-  | [| _; "bechamel" |] -> run_bechamel ()
-  | _ ->
-    prerr_endline
-      "usage: main.exe [claims|space|table2|table3|table4|figure3|surf-vs-brute|ablation|modelcheck|motivation|sweep|service|bechamel]";
-    exit 2
+  let to_run =
+    match selected with
+    | [] -> List.map snd runners
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name runners with
+          | Some f -> f
+          | None ->
+            Printf.eprintf "unknown experiment %S\n" name;
+            usage ())
+        names
+  in
+  List.iter (fun f -> f ()) to_run;
+  finalize ()

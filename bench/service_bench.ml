@@ -63,6 +63,15 @@ let cold_sequential reqs =
            ~rng:(Util.Rng.create 42) ~arch b))
     reqs
 
+(* Per-timer latency quantiles of the service metrics, for the benchmark
+   artifact: cache hits land in the microsecond buckets, cold tunes in the
+   second buckets, so p50/p99 of request.wall summarize the mix. *)
+let quantiles_of svc =
+  List.map
+    (fun ((name, s) : string * Service.Metrics.timer_summary) ->
+      (name, { Obs.Bench_log.q50 = s.median_s; q90 = s.p90_s; q99 = s.p99_s }))
+    (Service.Metrics.summaries (Service.Engine.metrics svc))
+
 let table () =
   let reqs = requests () in
   let nreq = List.length reqs in
@@ -113,10 +122,13 @@ let table () =
         (t_cold /. t_service) (t_service /. t_warm);
     ]
   in
-  (t, lines)
+  (t, lines, quantiles_of svc)
 
+(* Print the experiment and return the service latency quantiles for the
+   benchmark artifact. *)
 let run () =
-  let t, lines = table () in
+  let t, lines, quantiles = table () in
   Util.Table.print t;
   List.iter print_endline lines;
-  print_newline ()
+  print_newline ();
+  quantiles

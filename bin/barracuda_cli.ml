@@ -11,7 +11,11 @@
      stats     inspect a persistent tuning-cache directory
      trace     tune with tracing on; write a Chrome/Perfetto trace-event JSON
      report    tune and print convergence + Prometheus-style metrics reports
+     profile   tune with the kernel roofline profiler on and print the report
      archs     list the simulated GPU architectures
+
+   tune and batch also accept --profile-out=FILE to write the same roofline
+   report alongside their normal output.
 
    The tensor program is read from a file, or from the -e EXPR option. *)
 
@@ -82,6 +86,29 @@ let setup_logs =
     Logs.set_level (Some Logs.Warning)
   in
   Term.(const setup $ const ())
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Profile every kernel evaluation through the roofline model and write \
+           the report (time buckets per bound, top kernels by DRAM traffic, \
+           occupancy histogram, model-vs-measured divergence) to FILE.")
+
+(* Run [f] with the kernel profiler on when [out] is set, writing the
+   roofline report afterwards. Profiling draws no RNG state, so results
+   are identical with or without it. *)
+let with_profile out f =
+  match out with
+  | None -> f ()
+  | Some path ->
+    let r, samples = Obs.Profile.collect f in
+    Util.Fs.write_file path (Obs.Profile.render samples);
+    Printf.printf "wrote roofline profile (%d kernel evaluations) to %s\n"
+      (List.length samples) path;
+    r
 
 (* ---------------- variants ---------------- *)
 
@@ -162,8 +189,8 @@ let cmd_tune =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Save the tuning artifact to FILE.")
   in
-  let run () src arch seed evals prune save =
-    let result = tune_common src arch seed evals prune in
+  let run () src arch seed evals prune save profile_out =
+    let result = with_profile profile_out (fun () -> tune_common src arch seed evals prune) in
     let s = Barracuda.summarize result in
     Format.printf "target: %s@\n%a@\n" result.arch.name Barracuda.pp_summary s;
     Format.printf "best variant: %s@\n"
@@ -180,7 +207,7 @@ let cmd_tune =
   Cmd.v (Cmd.info "tune" ~doc:"Autotune a tensor program with SURF and report.")
     Term.(
       const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ prune_arg
-      $ save_arg)
+      $ save_arg $ profile_out_arg)
 
 (* ---------------- annotations ---------------- *)
 
@@ -374,7 +401,7 @@ let cmd_batch =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Trace the batch and write Chrome trace-event JSON to FILE.")
   in
-  let run () files exprs arch seed evals domains cache_dir want_stats trace_out =
+  let run () files exprs arch seed evals domains cache_dir want_stats trace_out profile_out =
     let requests =
       List.map
         (fun path ->
@@ -391,6 +418,7 @@ let cmd_batch =
     in
     let svc = Service.Engine.create ~config () in
     let responses =
+      with_profile profile_out @@ fun () ->
       match trace_out with
       | None -> Service.Engine.batch svc requests
       | Some path ->
@@ -420,7 +448,7 @@ let cmd_batch =
           multi-domain tuning of the cold remainder.")
     Term.(
       const run $ setup_logs $ files_arg $ exprs_arg $ arch_arg $ seed_arg $ evals_arg
-      $ domains_arg $ cache_arg $ stats_flag $ trace_arg)
+      $ domains_arg $ cache_arg $ stats_flag $ trace_arg $ profile_out_arg)
 
 (* ---------------- trace ---------------- *)
 
@@ -549,6 +577,45 @@ let cmd_stats =
     (Cmd.info "stats" ~doc:"Inspect a persistent tuning-cache directory.")
     Term.(const run $ setup_logs $ dir_arg)
 
+(* ---------------- profile ---------------- *)
+
+let cmd_profile =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Kernels to list in the DRAM-traffic table.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the report to FILE (stdout is always printed).")
+  in
+  let run () src arch seed evals prune top out =
+    let result, samples =
+      Obs.Profile.collect (fun () -> tune_common src arch seed evals prune)
+    in
+    let report = Obs.Profile.render ~top samples in
+    Printf.printf "%s on %s: %.2f GFlops after %d evaluations\n\n"
+      result.benchmark.label arch.Gpusim.Arch.name result.gflops result.evaluations;
+    print_string report;
+    match out with
+    | None -> ()
+    | Some path ->
+      Util.Fs.write_file path report;
+      Printf.printf "\nwrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Tune a program with the kernel roofline profiler on and print the \
+          report: per-variant time split by roofline bound (dp/issue/memory/launch), \
+          top kernels by DRAM traffic, occupancy histogram, and model-predicted vs \
+          measured divergence per architecture.")
+    Term.(
+      const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ prune_arg
+      $ top_arg $ out_arg)
+
 (* ---------------- archs ---------------- *)
 
 let cmd_archs =
@@ -571,4 +638,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
           [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
             cmd_driver; cmd_c; cmd_inspect; cmd_batch; cmd_stats; cmd_trace;
-            cmd_report; cmd_archs ]))
+            cmd_report; cmd_profile; cmd_archs ]))

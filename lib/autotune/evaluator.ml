@@ -39,6 +39,33 @@ let record t (ir : Tcr.Ir.t) points report =
       +. min eval_timeout_s (Gpusim.Gpu.time_with_reps report ~reps:t.reps)
   end
 
+(* Feed every kernel report of one evaluation to the roofline profiler.
+   Obs.Profile cannot name Gpusim's types (codegen sits between the two
+   libraries), so this is the adapter that flattens a kernel_report into a
+   profile sample. Pure accumulation: no RNG draws, no influence on the
+   measurement, so tuning results are bit-identical with profiling on or
+   off. *)
+let profile_report (arch : Gpusim.Arch.t) (ir : Tcr.Ir.t) (report : Gpusim.Gpu.report) =
+  List.iter
+    (fun (kr : Gpusim.Perf.kernel_report) ->
+      Obs.Profile.record
+        {
+          Obs.Profile.arch = arch.name;
+          variant = ir.label;
+          kernel = kr.kernel_name;
+          bound = kr.bound;
+          t_dp = kr.t_dp;
+          t_issue = kr.t_issue;
+          t_mem = kr.t_mem;
+          t_launch = kr.t_launch;
+          model_s = Gpusim.Perf.model_time kr;
+          measured_s = kr.time_s;
+          dram_bytes = kr.dram_bytes;
+          l2_bytes = kr.l2_bytes;
+          occupancy = kr.occupancy.occupancy;
+        })
+    report.Gpusim.Gpu.kernels
+
 (* One real (uncached) measurement, wrapped in a span so traces show every
    empirical evaluation - wherever it ran, including worker domains. *)
 let traced_measure arch (ir : Tcr.Ir.t) points =
@@ -49,6 +76,7 @@ let traced_measure arch (ir : Tcr.Ir.t) points =
   let report = Gpusim.Gpu.measure arch ir points in
   Obs.Trace.add_attrs span
     [ ("kernel_time_s", Printf.sprintf "%.6g" report.Gpusim.Gpu.kernel_time_s) ];
+  if Obs.Profile.enabled () then profile_report arch ir report;
   report
 
 let measure t (ir : Tcr.Ir.t) points =

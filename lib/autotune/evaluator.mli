@@ -24,6 +24,13 @@ val key : Tcr.Ir.t -> Tcr.Space.point list -> string
 
 val measure : t -> Tcr.Ir.t -> Tcr.Space.point list -> Gpusim.Gpu.report
 
+(** Flatten one evaluation's kernel reports into {!Obs.Profile} samples
+    (the adapter between the simulator's types and the profiler's flat
+    records). Called automatically on every uncached measurement when
+    profiling is enabled; exposed for recording externally computed
+    reports. No RNG draws, no effect on results. *)
+val profile_report : Gpusim.Arch.t -> Tcr.Ir.t -> Gpusim.Gpu.report -> unit
+
 (** Merge an externally computed report, charging the modeled search cost
     unless the pair is already memoized. *)
 val record : t -> Tcr.Ir.t -> Tcr.Space.point list -> Gpusim.Gpu.report -> unit

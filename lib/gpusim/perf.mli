@@ -36,6 +36,12 @@ type kernel_report = {
 (** L2 serves traffic at this multiple of DRAM bandwidth. *)
 val l2_bw_multiplier : float
 
+(** Noise-free analytic time of a report: [t_launch + max(t_dp, t_issue,
+    t_mem)]. Equals [time_s] for a report from {!analyze_kernel}; differs
+    from a {!Gpu.measure_kernel} report exactly by the modeled codegen
+    noise, which is what the profiler's divergence measures. *)
+val model_time : kernel_report -> float
+
 val latency_warps_compute : float
 val latency_warps_memory : float
 

@@ -1,0 +1,36 @@
+(** Minimal JSON value type, renderer and parser - just enough for the
+    benchmark artifacts ({!Bench_log}) to round-trip without an external
+    dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [Num] of an integer. *)
+val int : int -> t
+
+(** Render. Non-finite numbers serialize as [null]; integral floats render
+    without a fractional part. [indent] pretty-prints with two spaces. *)
+val to_string : ?indent:bool -> t -> string
+
+exception Parse_error of string
+
+(** Parse a complete JSON document; [Error] carries a message with the
+    failing offset. *)
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t
+
+(** Field lookup on an [Obj]; [None] on anything else. *)
+val member : string -> t -> t option
+
+(** [Num] payload; [Null] reads as [nan] (the serialization of non-finite
+    floats). *)
+val get_num : t -> float option
+
+val get_str : t -> string option
+val get_arr : t -> t list option

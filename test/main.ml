@@ -27,4 +27,5 @@ let () =
       ("more-properties", Test_more_properties.suite);
       ("edges", Test_edges.suite);
       ("service", Test_service.suite);
+      ("perfobs", Test_perfobs.suite);
     ]

@@ -141,6 +141,66 @@ let test_perf_memory_classes () =
         Alcotest.(check bool) "output write-through" true (rr.memory_class = Gpusim.Perf.Dram_raw))
     r.refs
 
+(* ---------------- Perf bound attribution ---------------- *)
+
+(* Like [kernel_for] but with independent extents, for fixtures whose bound
+   needs an asymmetric problem (deep reduction, wide output...). *)
+let kernel_for_dims ~ni ~nj ~nk ~tx ~ty ~bx () =
+  let src =
+    Printf.sprintf "dims: i=%d j=%d k=%d\nC[i j] = Sum([k], A[i k] * B[k j])" ni nj nk
+  in
+  let set = match Octopi.Variants.of_string src with [ s ] -> s | _ -> assert false in
+  let ir = Tcr.Ir.of_variant ~label:"mm" set.contraction (List.hd set.variants) in
+  let point = { Tcr.Space.decomp = { tx; ty; bx; by = None }; unrolls = []; red_order = [] } in
+  Codegen.Kernel.lower ~name:"mm_GPU_1" ir (List.hd ir.ops) point
+
+(* The roofline attribution: [bound] must name the dominant term, and
+   time_s must be exactly t_launch + max(t_dp, t_issue, t_mem) -
+   analyze_kernel reports are noise-free, so the identity is exact. *)
+let check_bound name arch k expect =
+  let r = Gpusim.Perf.analyze_kernel arch k in
+  Alcotest.(check string) (name ^ " bound") expect r.bound;
+  let dominant =
+    match expect with
+    | "dp" -> r.t_dp
+    | "issue" -> r.t_issue
+    | "memory" -> r.t_mem
+    | "launch" -> 0.0 (* launch-bound: launch exceeds every roofline term *)
+    | _ -> assert false
+  in
+  List.iter
+    (fun t -> Alcotest.(check bool) (name ^ " term dominated") true (t <= dominant +. 1e-15))
+    (match expect with "launch" -> [] | _ -> [ r.t_dp; r.t_issue; r.t_mem ]);
+  if expect = "launch" then
+    Alcotest.(check bool) (name ^ " launch dominates") true
+      (r.t_launch > r.t_dp && r.t_launch > r.t_issue && r.t_launch > r.t_mem);
+  Alcotest.(check (float 1e-12)) (name ^ " time identity")
+    (r.t_launch +. Float.max r.t_dp (Float.max r.t_issue r.t_mem))
+    r.time_s;
+  Alcotest.(check (float 1e-12)) (name ^ " model_time agrees")
+    (Gpusim.Perf.model_time r) r.time_s
+
+let test_perf_bound_dp () =
+  (* 32^3 matmul on the GTX 980's 4 DP lanes/SM: flops dominate *)
+  let _, k = kernel_for ~n:32 ~tx:"j" ~ty:None ~bx:"i" () in
+  check_bound "dp fixture" Gpusim.Arch.gtx980 k "dp"
+
+let test_perf_bound_launch () =
+  (* 4^3 problem: the fixed kernel-launch cost towers over all work *)
+  let _, k = kernel_for ~n:4 ~tx:"j" ~ty:None ~bx:"i" () in
+  check_bound "launch fixture" Gpusim.Arch.gtx980 k "launch"
+
+let test_perf_bound_memory () =
+  (* 128^3 with fully strided output (tx = i): DRAM traffic dominates *)
+  let _, k = kernel_for ~n:128 ~tx:"i" ~ty:None ~bx:"j" () in
+  check_bound "memory fixture" Gpusim.Arch.gtx980 k "memory"
+
+let test_perf_bound_issue () =
+  (* K20 has 64 DP lanes/SM (dp is cheap) and a single 32x32 block (one
+     SM busy): instruction issue is the bottleneck of the deep reduction *)
+  let k = kernel_for_dims ~ni:32 ~nj:32 ~nk:128 ~tx:"j" ~ty:(Some "i") ~bx:"i" () in
+  check_bound "issue fixture" Gpusim.Arch.k20 k "issue"
+
 (* ---------------- Transfer + Gpu ---------------- *)
 
 let ir_small () =
@@ -223,6 +283,10 @@ let suite =
     ("perf unroll helps issue", `Quick, test_perf_unroll_helps_issue);
     ("perf small grid penalty", `Quick, test_perf_small_grid_penalty);
     ("perf memory classes", `Quick, test_perf_memory_classes);
+    ("perf bound dp", `Quick, test_perf_bound_dp);
+    ("perf bound launch", `Quick, test_perf_bound_launch);
+    ("perf bound memory", `Quick, test_perf_bound_memory);
+    ("perf bound issue", `Quick, test_perf_bound_issue);
     ("transfer bytes", `Quick, test_transfer_bytes);
     ("gpu measure deterministic", `Quick, test_gpu_measure_deterministic);
     ("gpu noise bounded", `Quick, test_gpu_noise_bounded);

@@ -162,6 +162,130 @@ let test_r_squared () =
   let mean_pred = [ 2.0; 2.0; 2.0 ] in
   check_float "mean predictor" 0.0 (Util.Stats.r_squared ~actual ~predicted:mean_pred)
 
+(* ---------------- Stats: comparator ---------------- *)
+
+let test_normal_cdf () =
+  Alcotest.(check (float 1e-6)) "phi(0)" 0.5 (Util.Stats.normal_cdf 0.0);
+  Alcotest.(check (float 1e-4)) "phi(1.96)" 0.975 (Util.Stats.normal_cdf 1.96);
+  Alcotest.(check (float 1e-4)) "phi(-1.96)" 0.025 (Util.Stats.normal_cdf (-1.96))
+
+let test_mann_whitney_identical () =
+  (* identical samples: everything tied, z = 0, no evidence either way *)
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let mw = Util.Stats.mann_whitney xs xs in
+  Alcotest.(check (float 1e-9)) "z" 0.0 mw.z;
+  Alcotest.(check (float 1e-9)) "p_greater" 0.5 mw.p_greater;
+  Alcotest.(check (float 1e-9)) "p_less" 0.5 mw.p_less
+
+let test_mann_whitney_shift () =
+  (* a clean one-sided shift: b stochastically greater than a *)
+  let a = List.init 20 (fun i -> float_of_int i) in
+  let b = List.map (fun x -> x +. 100.0) a in
+  let mw = Util.Stats.mann_whitney a b in
+  Alcotest.(check bool) "p_greater tiny" true (mw.p_greater < 1e-6);
+  Alcotest.(check bool) "p_less near 1" true (mw.p_less > 1.0 -. 1e-6);
+  (* and the mirrored test flips the tails *)
+  let mw' = Util.Stats.mann_whitney b a in
+  Alcotest.(check bool) "mirror" true (mw'.p_less < 1e-6)
+
+let test_mann_whitney_rejects_empty () =
+  Alcotest.check_raises "empty sample" (Invalid_argument "Stats.mann_whitney: empty sample")
+    (fun () -> ignore (Util.Stats.mann_whitney [] [ 1.0 ]))
+
+let test_bootstrap_ci () =
+  let rng = Util.Rng.create 7 in
+  let base = List.init 30 (fun i -> 1.0 +. (0.001 *. float_of_int i)) in
+  let cur = List.map (fun x -> x *. 2.0) base in
+  let lo, hi = Util.Stats.bootstrap_ratio_ci rng ~base ~cur in
+  Alcotest.(check bool) "CI brackets 2.0" true (lo <= 2.0 && 2.0 <= hi);
+  Alcotest.(check bool) "CI excludes 1.0" true (lo > 1.0);
+  (* deterministic: same seed, same interval *)
+  let lo', hi' = Util.Stats.bootstrap_ratio_ci (Util.Rng.create 7) ~base ~cur in
+  Alcotest.(check (float 0.0)) "lo deterministic" lo lo';
+  Alcotest.(check (float 0.0)) "hi deterministic" hi hi'
+
+let test_compare_identical () =
+  let xs = List.init 25 (fun i -> 1.0 +. (0.01 *. float_of_int i)) in
+  let c = Util.Stats.compare_samples ~base:xs ~cur:xs () in
+  Alcotest.(check bool) "no regression" false c.regression;
+  Alcotest.(check bool) "no improvement" false c.improvement;
+  Alcotest.(check (float 1e-9)) "ratio 1" 1.0 c.ratio
+
+let test_compare_significant_slowdown () =
+  (* 3x slowdown with plenty of samples: must gate *)
+  let base = List.init 30 (fun i -> 1.0 +. (0.001 *. float_of_int i)) in
+  let cur = List.map (fun x -> x *. 3.0) base in
+  let c = Util.Stats.compare_samples ~base ~cur () in
+  Alcotest.(check bool) "regression" true c.regression;
+  Alcotest.(check bool) "p small" true (c.p_slower < 0.01);
+  Alcotest.(check bool) "CI above 1" true (c.ci_low > 1.0);
+  (* symmetric: swapping the roles reports an improvement *)
+  let c' = Util.Stats.compare_samples ~base:cur ~cur:base () in
+  Alcotest.(check bool) "improvement" true c'.improvement;
+  Alcotest.(check bool) "not a regression" false c'.regression
+
+let test_compare_small_ratio_not_regression () =
+  (* statistically significant but below min_ratio: noise gate holds *)
+  let base = List.init 30 (fun i -> 1.0 +. (0.001 *. float_of_int i)) in
+  let cur = List.map (fun x -> x *. 1.05) base in
+  let c = Util.Stats.compare_samples ~min_ratio:1.10 ~base ~cur () in
+  Alcotest.(check bool) "p small" true (c.p_slower < 0.01);
+  Alcotest.(check bool) "still not a regression" false c.regression
+
+let test_compare_tiny_n_dominance () =
+  (* single samples: the U test cannot reach alpha = 0.01 (min p = 1/2),
+     so the verdict falls back to strict dominance *)
+  let c = Util.Stats.compare_samples ~base:[ 1.0 ] ~cur:[ 5.0 ] () in
+  Alcotest.(check bool) "dominant slowdown gates" true c.regression;
+  let c' = Util.Stats.compare_samples ~base:[ 1.0 ] ~cur:[ 1.05 ] () in
+  Alcotest.(check bool) "below min_ratio stays ok" false c'.regression
+
+let test_compare_deterministic () =
+  let base = List.init 12 (fun i -> 2.0 +. (0.1 *. float_of_int i)) in
+  let cur = List.map (fun x -> x *. 1.7) base in
+  let c1 = Util.Stats.compare_samples ~seed:5 ~base ~cur () in
+  let c2 = Util.Stats.compare_samples ~seed:5 ~base ~cur () in
+  Alcotest.(check (float 0.0)) "ci_low" c1.ci_low c2.ci_low;
+  Alcotest.(check (float 0.0)) "ci_high" c1.ci_high c2.ci_high;
+  Alcotest.(check (float 0.0)) "p" c1.p_slower c2.p_slower
+
+(* ---------------- Fs ---------------- *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "barracuda_fs_test_%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let test_mkdir_p_nested () =
+  with_tmp_dir @@ fun dir ->
+  let deep = Filename.concat (Filename.concat dir "a/b") "c" in
+  Util.Fs.mkdir_p deep;
+  Alcotest.(check bool) "created" true (Sys.is_directory deep);
+  (* idempotent on an existing tree *)
+  Util.Fs.mkdir_p deep;
+  Alcotest.(check bool) "still there" true (Sys.is_directory deep)
+
+let test_mkdir_p_over_file () =
+  with_tmp_dir @@ fun dir ->
+  Util.Fs.mkdir_p dir;
+  let file = Filename.concat dir "plain" in
+  Util.Fs.write_file file "x";
+  Alcotest.(check bool) "raises on non-directory component" true
+    (try
+       Util.Fs.mkdir_p (Filename.concat file "sub");
+       false
+     with Invalid_argument _ -> true)
+
+let test_write_read_roundtrip () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat (Filename.concat dir "x/y") "data.txt" in
+  Util.Fs.write_file path "line1\nline2";
+  Alcotest.(check string) "roundtrip" "line1\nline2" (Util.Fs.read_file path)
+
 (* ---------------- Table ---------------- *)
 
 let test_table_render () =
@@ -203,6 +327,19 @@ let suite =
     ("argmin", `Quick, test_argmin);
     ("percentile", `Quick, test_percentile);
     ("r squared", `Quick, test_r_squared);
+    ("normal cdf", `Quick, test_normal_cdf);
+    ("mann-whitney identical samples", `Quick, test_mann_whitney_identical);
+    ("mann-whitney one-sided shift", `Quick, test_mann_whitney_shift);
+    ("mann-whitney rejects empty", `Quick, test_mann_whitney_rejects_empty);
+    ("bootstrap ratio CI", `Quick, test_bootstrap_ci);
+    ("compare identical samples", `Quick, test_compare_identical);
+    ("compare significant slowdown", `Quick, test_compare_significant_slowdown);
+    ("compare small ratio no gate", `Quick, test_compare_small_ratio_not_regression);
+    ("compare tiny n dominance", `Quick, test_compare_tiny_n_dominance);
+    ("compare deterministic", `Quick, test_compare_deterministic);
+    ("fs mkdir_p nested", `Quick, test_mkdir_p_nested);
+    ("fs mkdir_p over file", `Quick, test_mkdir_p_over_file);
+    ("fs write/read roundtrip", `Quick, test_write_read_roundtrip);
     ("table render", `Quick, test_table_render);
     ("table cell formatting", `Quick, test_cell_f);
   ]
