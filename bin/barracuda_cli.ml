@@ -13,9 +13,14 @@
      report    tune and print convergence + Prometheus-style metrics reports
      profile   tune with the kernel roofline profiler on and print the report
      archs     list the simulated GPU architectures
+     history   list the runs recorded in a tuning journal
+     explain   full report for one journaled run (lineage, importances, rivals)
+     replay    re-run a journaled tune and fail on drift
 
    tune and batch also accept --profile-out=FILE to write the same roofline
-   report alongside their normal output.
+   report alongside their normal output, and --journal=FILE to append each
+   tuning run to the flight-recorder journal that history/explain/replay
+   read.
 
    The tensor program is read from a file, or from the -e EXPR option. *)
 
@@ -110,6 +115,59 @@ let with_profile out f =
       (List.length samples) path;
     r
 
+let journal_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append every tuning run to the flight-recorder journal FILE \
+           (JSONL): canonical key, seed, per-iteration SURF state, and the \
+           five-stage provenance lineage of every evaluated variant. Read it \
+           back with the history, explain and replay subcommands.")
+
+let journal_file_arg =
+  Arg.(
+    value
+    & opt string "tuning-journal.jsonl"
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"Tuning journal to read (default tuning-journal.jsonl).")
+
+(* Run [f] with the tuning journal recording to [path] when set. Journaling
+   draws no RNG state, so tuning results are identical with or without
+   it. *)
+let with_journal path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+    Obs.Journal.start ~path ();
+    let r = Fun.protect ~finally:Obs.Journal.stop f in
+    List.iter
+      (fun (e : Obs.Journal.entry) ->
+        Printf.printf "journaled run %s (%s) to %s\n" (Obs.Journal.short e.run_id)
+          e.label path)
+      (Obs.Journal.entries ());
+    r
+
+let load_journal path =
+  let entries, discarded = Obs.Journal.load path in
+  if discarded > 0 then
+    Printf.eprintf "warning: discarded %d torn or corrupt journal line%s\n"
+      discarded
+      (if discarded = 1 then "" else "s");
+  entries
+
+let find_run entries run =
+  match Obs.Journal.find entries ~run with
+  | Ok e -> e
+  | Error msg -> failwith msg
+
+let run_arg =
+  Arg.(
+    value & pos 0 string "latest"
+    & info [] ~docv:"RUN"
+        ~doc:"Run id (or unique prefix) from the journal; default latest.")
+
 (* ---------------- variants ---------------- *)
 
 let cmd_variants =
@@ -180,7 +238,7 @@ let tune_common src arch seed evals prune =
   let prune = if prune then Some Tcr.Prune.default else None in
   Autotune.Tuner.tune
     ~strategy:(Autotune.Tuner.Surf_search cfg)
-    ?prune ~rng:(Util.Rng.create seed) ~arch b
+    ?prune ~journal_seed:seed ~rng:(Util.Rng.create seed) ~arch b
 
 let cmd_tune =
   let save_arg =
@@ -189,8 +247,11 @@ let cmd_tune =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Save the tuning artifact to FILE.")
   in
-  let run () src arch seed evals prune save profile_out =
-    let result = with_profile profile_out (fun () -> tune_common src arch seed evals prune) in
+  let run () src arch seed evals prune save profile_out journal_out =
+    let result =
+      with_journal journal_out (fun () ->
+          with_profile profile_out (fun () -> tune_common src arch seed evals prune))
+    in
     let s = Barracuda.summarize result in
     Format.printf "target: %s@\n%a@\n" result.arch.name Barracuda.pp_summary s;
     Format.printf "best variant: %s@\n"
@@ -198,6 +259,12 @@ let cmd_tune =
     List.iteri
       (fun i p -> Format.printf "  kernel %d: %s@\n" (i + 1) (Tcr.Space.point_key p))
       result.best.points;
+    (match result.importances with
+    | [] -> ()
+    | imps ->
+      Format.printf "parameter importances:%s@\n"
+        (String.concat ""
+           (List.map (fun (n, w) -> Printf.sprintf " %s=%.2f" n w) imps)));
     match save with
     | None -> ()
     | Some path ->
@@ -207,7 +274,7 @@ let cmd_tune =
   Cmd.v (Cmd.info "tune" ~doc:"Autotune a tensor program with SURF and report.")
     Term.(
       const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ prune_arg
-      $ save_arg $ profile_out_arg)
+      $ save_arg $ profile_out_arg $ journal_out_arg)
 
 (* ---------------- annotations ---------------- *)
 
@@ -401,7 +468,8 @@ let cmd_batch =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Trace the batch and write Chrome trace-event JSON to FILE.")
   in
-  let run () files exprs arch seed evals domains cache_dir want_stats trace_out profile_out =
+  let run () files exprs arch seed evals domains cache_dir want_stats trace_out
+      profile_out journal_out =
     let requests =
       List.map
         (fun path ->
@@ -418,6 +486,7 @@ let cmd_batch =
     in
     let svc = Service.Engine.create ~config () in
     let responses =
+      with_journal journal_out @@ fun () ->
       with_profile profile_out @@ fun () ->
       match trace_out with
       | None -> Service.Engine.batch svc requests
@@ -448,7 +517,8 @@ let cmd_batch =
           multi-domain tuning of the cold remainder.")
     Term.(
       const run $ setup_logs $ files_arg $ exprs_arg $ arch_arg $ seed_arg $ evals_arg
-      $ domains_arg $ cache_arg $ stats_flag $ trace_arg $ profile_out_arg)
+      $ domains_arg $ cache_arg $ stats_flag $ trace_arg $ profile_out_arg
+      $ journal_out_arg)
 
 (* ---------------- trace ---------------- *)
 
@@ -630,12 +700,127 @@ let cmd_archs =
   Cmd.v (Cmd.info "archs" ~doc:"List the simulated GPU architectures.")
     Term.(const run $ setup_logs)
 
+(* ---------------- history / explain / replay (tuning journal) ------- *)
+
+let cmd_history =
+  let run () journal =
+    print_string (Obs.Journal.render_history (load_journal journal))
+  in
+  Cmd.v
+    (Cmd.info "history" ~doc:"List the runs recorded in a tuning journal.")
+    Term.(const run $ setup_logs $ journal_file_arg)
+
+let cmd_explain =
+  let run () journal run_id =
+    print_string (Obs.Journal.render_explain (find_run (load_journal journal) run_id))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Full report for one journaled run: the winner's five-stage \
+          provenance lineage, named parameter importances of the surrogate, \
+          its predicted-vs-measured fit, and the rejected rivals.")
+    Term.(const run $ setup_logs $ journal_file_arg $ run_arg)
+
+let cmd_replay =
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "tolerance" ] ~docv:"R"
+          ~doc:"Allowed |measured-time ratio - 1| before declaring drift.")
+  in
+  let run () journal run_id prune tolerance =
+    let entry = find_run (load_journal journal) run_id in
+    let arch =
+      match
+        List.find_opt
+          (fun a -> Gpusim.Arch.fingerprint a = entry.Obs.Journal.arch)
+          Gpusim.Arch.all
+      with
+      | Some a -> a
+      | None -> (
+        (* no exact fingerprint: resolve by name so the replay reports the
+           device-identity drift instead of failing to find the arch *)
+        let name =
+          match String.index_opt entry.Obs.Journal.arch '|' with
+          | Some i -> String.sub entry.Obs.Journal.arch 0 i
+          | None -> entry.Obs.Journal.arch
+        in
+        match Gpusim.Arch.by_name name with
+        | Some a -> a
+        | None -> failwith (Printf.sprintf "unknown architecture %S" name))
+    in
+    let prune = if prune then Some Tcr.Prune.default else None in
+    match Autotune.Replay.replay ?prune ~time_tolerance:tolerance ~arch entry with
+    | Error msg -> failwith msg
+    | Ok verdict ->
+      print_string (Autotune.Replay.render verdict);
+      if not (Autotune.Replay.ok verdict) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run a journaled tune from its recorded inputs (DSL, seed, \
+          budget) and exit nonzero if the winning kernel hash or the \
+          measured-time ratio drifts.")
+    Term.(const run $ setup_logs $ journal_file_arg $ run_arg $ prune_arg $ tolerance_arg)
+
+(* ---------------- main ---------------- *)
+
+(* One-line-per-subcommand usage screen, shown on bare invocation and on
+   --help, and on stderr (exit 2) for an unknown subcommand. *)
+let subcommands =
+  [
+    ("variants", "enumerate the OCTOPI strength-reduction variants");
+    ("tcr", "print the TCR form of a chosen variant");
+    ("space", "summarize the autotuning search space");
+    ("annotations", "print the Orio/CUDA-CHiLL search-space annotations");
+    ("tune", "run the full pipeline (SURF autotuning) and report");
+    ("cuda", "tune and emit the optimized CUDA translation unit");
+    ("driver", "tune and emit a standalone CUDA driver");
+    ("c", "emit sequential C or OpenACC renderings");
+    ("inspect", "tune and print the per-kernel performance-model breakdown");
+    ("batch", "serve many requests via the tuning service (cache + domains)");
+    ("stats", "inspect a persistent tuning-cache directory");
+    ("trace", "tune with tracing on; write a Chrome trace-event JSON");
+    ("report", "tune and print convergence + metrics reports");
+    ("profile", "tune with the kernel roofline profiler and print the report");
+    ("archs", "list the simulated GPU architectures");
+    ("history", "list the runs recorded in a tuning journal");
+    ("explain", "full report for one journaled run (lineage, importances)");
+    ("replay", "re-run a journaled tune; exit nonzero on drift");
+  ]
+
+let usage_screen =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "barracuda - autotuning tensor-contraction compiler for (simulated) GPUs\n\n\
+     usage: barracuda COMMAND [OPTIONS]\n\ncommands:\n";
+  List.iter
+    (fun (name, doc) -> Buffer.add_string b (Printf.sprintf "  %-12s %s\n" name doc))
+    subcommands;
+  Buffer.add_string b
+    "\nRun 'barracuda COMMAND --help' for the options of one command.\n";
+  Buffer.contents b
+
 let () =
   let info =
     Cmd.info "barracuda" ~version:"1.0.0"
       ~doc:"Autotuning tensor-contraction compiler for (simulated) GPUs."
   in
-  exit (Cmd.eval (Cmd.group info
-          [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
-            cmd_driver; cmd_c; cmd_inspect; cmd_batch; cmd_stats; cmd_trace;
-            cmd_report; cmd_profile; cmd_archs ]))
+  let group =
+    Cmd.group info
+      [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
+        cmd_driver; cmd_c; cmd_inspect; cmd_batch; cmd_stats; cmd_trace;
+        cmd_report; cmd_profile; cmd_archs; cmd_history; cmd_explain; cmd_replay ]
+  in
+  match Array.to_list Sys.argv with
+  | [ _ ] | _ :: ("--help" | "-h" | "help") :: _ ->
+    print_string usage_screen;
+    exit 0
+  | _ :: cmd :: _
+    when cmd <> "" && cmd.[0] <> '-' && not (List.mem_assoc cmd subcommands) ->
+    prerr_string usage_screen;
+    Printf.eprintf "\nbarracuda: unknown command %S\n" cmd;
+    exit 2
+  | _ -> exit (Cmd.eval group)

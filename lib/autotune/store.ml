@@ -154,6 +154,8 @@ let restore_result ?(reps = 100) ~arch (b : Tuner.benchmark) (s : saved) =
     variant_count = List.length choices;
     convergence = [];
     iterations = [];
+    importances = [];
+    explain = None;
   }
 
 let load_file (b : Tuner.benchmark) path =

@@ -36,6 +36,10 @@ type result = {
   variant_count : int;
   convergence : float list;
   iterations : Obs.Search_log.iteration list;  (* SURF per-batch telemetry *)
+  importances : (string * float) list;
+  (* named-parameter split-gain importances of the final surrogate,
+     descending; [] when no surrogate was fit *)
+  explain : candidate Surf.Search.explain option;  (* surrogate post-mortem *)
 }
 
 let benchmark_of_dsl ~label src =
@@ -133,8 +137,11 @@ let build_pool ?(pool_per_variant = 600) ?prune rng choices =
 
 type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
 
+(* [journal_key] and [journal_seed] only annotate the flight-recorder entry
+   (canonical problem key, RNG seed); they never influence the tune. *)
 let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
-    ?(pool_per_variant = 600) ?prune ?batch_map ~rng ~arch (b : benchmark) =
+    ?(pool_per_variant = 600) ?prune ?batch_map ?(journal_key = "")
+    ?(journal_seed = -1) ~rng ~arch (b : benchmark) =
   Obs.Trace.with_span ~cat:"autotune"
     ~attrs:(fun () -> [ ("label", b.label); ("arch", arch.Gpusim.Arch.name) ])
     "tune"
@@ -200,6 +207,88 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
         best_report.Gpusim.Gpu.kernel_time_s search_result.evaluations
         (String.concat "." (List.map string_of_int best.variant_ids)));
   let time_per_eval_s = Gpusim.Gpu.amortized_time best_report ~reps in
+  let importances =
+    match search_result.explain with
+    | None -> []
+    | Some ex ->
+      let schema =
+        Surf.Feature.make_schema (Array.to_list (Array.map (fun c -> c.features) pool))
+      in
+      Surf.Explain.named_importances schema ex.importance
+  in
+  (* Flight recorder: one journal entry per tune, with the full five-stage
+     lineage of every evaluated variant. Guarded by the sink flag, and pure
+     string/hash work when on, so a fixed-seed tune is bit-identical with
+     journaling on or off. *)
+  if Obs.Journal.enabled () then begin
+    let dsl = Provenance.dsl_of_statements b.statements in
+    let lineage_of (c : candidate) =
+      Provenance.lineage ~dsl ~variant_ids:c.variant_ids ~ir:c.ir ~points:c.points
+    in
+    let label_of (c : candidate) =
+      Provenance.label ~variant_ids:c.variant_ids ~points:c.points
+    in
+    (* surrogate predictions per evaluated candidate; pool elements are
+       shared, so physical equality identifies them *)
+    let predicted_of c =
+      Option.bind search_result.explain (fun ex ->
+          List.find_map
+            (fun (c', p, _) -> if c' == c then Some p else None)
+            ex.residuals)
+    in
+    let variant_of (e : candidate Surf.Search.evaluation) =
+      {
+        Obs.Journal.label = label_of e.config;
+        lineage = lineage_of e.config;
+        predicted = predicted_of e.config;
+        measured = e.objective;
+      }
+    in
+    let max_evals, batch_size =
+      match strategy with
+      | Surf_search cfg -> (cfg.max_evals, cfg.batch_size)
+      | Random_search -> (Surf.Search.default_config.max_evals, 1)
+      | Exhaustive -> (search_result.pool_size, search_result.pool_size)
+    in
+    let entry =
+      {
+        Obs.Journal.run_id = "";
+        timestamp = 0.0;
+        key = journal_key;
+        label = b.label;
+        arch = Gpusim.Arch.fingerprint arch;
+        seed = journal_seed;
+        dsl;
+        max_evals;
+        batch_size;
+        pool_per_variant;
+        reps;
+        pool_size = search_result.pool_size;
+        evaluations = search_result.evaluations;
+        iterations = search_result.iterations;
+        variants = List.map variant_of search_result.history;
+        winner = variant_of search_result.best;
+        importances;
+        residual_r2 =
+          Option.bind search_result.explain (fun ex ->
+              Surf.Explain.residual_r2 ex.residuals);
+        rivals =
+          (match search_result.explain with
+          | None -> []
+          | Some ex ->
+            List.map
+              (fun (c, p, s) ->
+                {
+                  Obs.Journal.rival_label = label_of c;
+                  rival_lineage = lineage_of c;
+                  rival_predicted = p;
+                  rival_std = s;
+                })
+              ex.rivals);
+      }
+    in
+    ignore (Obs.Journal.record entry)
+  end;
   {
     benchmark = b;
     arch;
@@ -214,6 +303,8 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
     variant_count = List.length choices;
     convergence = Surf.Search.convergence_curve search_result;
     iterations = search_result.iterations;
+    importances;
+    explain = search_result.explain;
   }
 
 (* Emit the tuned CUDA for a result. *)

@@ -33,6 +33,12 @@ type result = {
   iterations : Obs.Search_log.iteration list;
       (** SURF per-iteration telemetry (see {!Obs.Search_log}); empty for
           the non-iterative strategies and for cache-restored results *)
+  importances : (string * float) list;
+      (** named-parameter split-gain importances of the final surrogate
+          ({!Surf.Explain.named_importances}), descending; [[]] when no
+          surrogate was fit *)
+  explain : candidate Surf.Search.explain option;
+      (** surrogate post-mortem: residuals and rejected rivals *)
 }
 
 val benchmark_of_dsl : label:string -> string -> benchmark
@@ -61,13 +67,19 @@ type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
 (** [batch_map], when given, executes the pure measurement thunks of each
     SURF iteration batch (see {!Evaluator.measure_batch}) - the hook a
     multi-domain scheduler plugs into. Results are bit-identical to the
-    sequential default for any order-preserving executor. *)
+    sequential default for any order-preserving executor.
+
+    [journal_key] and [journal_seed] annotate the {!Obs.Journal} entry
+    (canonical problem key, RNG seed) when the flight recorder is on; they
+    never influence the tune itself. *)
 val tune :
   ?strategy:strategy ->
   ?reps:int ->
   ?pool_per_variant:int ->
   ?prune:Tcr.Prune.policy ->
   ?batch_map:((unit -> Gpusim.Gpu.report) list -> Gpusim.Gpu.report list) ->
+  ?journal_key:string ->
+  ?journal_seed:int ->
   rng:Util.Rng.t ->
   arch:Gpusim.Arch.t ->
   benchmark ->

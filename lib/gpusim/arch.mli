@@ -43,3 +43,9 @@ val all : t list
 
 (** Case-insensitive lookup by name or codename. *)
 val by_name : string -> t option
+
+(** Complete textual identity of the device description: every field,
+    including the calibration constants, in a fixed order. Two archs with
+    equal fingerprints yield identical objective landscapes; tuning
+    results never transfer across different fingerprints. *)
+val fingerprint : t -> string

@@ -13,6 +13,9 @@ type iteration = {
   batch_best : float;
   batch_mean : float;
   r2 : float option;  (* forest predictions vs measured; None for iter 0 *)
+  pred_std : float option;
+      (* mean ensemble std over the proposed batch - surrogate confidence
+         at proposal time; None for the initial random batch *)
 }
 
 let coverage it =
@@ -34,16 +37,17 @@ let render ~label iterations =
   let b = Buffer.create 512 in
   Buffer.add_string b (Printf.sprintf "convergence: %s\n" label);
   Buffer.add_string b
-    (Printf.sprintf "%-5s %6s %6s %9s %12s %12s %12s %7s\n" "iter" "batch" "evals"
-       "coverage" "batch-best" "batch-mean" "best-so-far" "R2");
+    (Printf.sprintf "%-5s %6s %6s %9s %12s %12s %12s %7s %10s\n" "iter" "batch" "evals"
+       "coverage" "batch-best" "batch-mean" "best-so-far" "R2" "pred-std");
   List.iter
     (fun it ->
       Buffer.add_string b
-        (Printf.sprintf "%-5d %6d %6d %8.1f%% %12.4g %12.4g %12.4g %7s\n" it.iter
+        (Printf.sprintf "%-5d %6d %6d %8.1f%% %12.4g %12.4g %12.4g %7s %10s\n" it.iter
            it.batch it.evaluations
            (100.0 *. coverage it)
            it.batch_best it.batch_mean it.best_so_far
-           (match it.r2 with None -> "-" | Some r -> Printf.sprintf "%.3f" r)))
+           (match it.r2 with None -> "-" | Some r -> Printf.sprintf "%.3f" r)
+           (match it.pred_std with None -> "-" | Some s -> Printf.sprintf "%.3g" s)))
     iterations;
   (match iterations with
   | [] -> Buffer.add_string b "  (no iterations logged)\n"
@@ -65,4 +69,5 @@ let span_attrs it =
     ("best_so_far", Printf.sprintf "%.6g" it.best_so_far);
     ("batch_best", Printf.sprintf "%.6g" it.batch_best);
   ]
-  @ match it.r2 with None -> [] | Some r -> [ ("r2", Printf.sprintf "%.4f" r) ]
+  @ (match it.r2 with None -> [] | Some r -> [ ("r2", Printf.sprintf "%.4f" r) ])
+  @ match it.pred_std with None -> [] | Some s -> [ ("pred_std", Printf.sprintf "%.6g" s) ]

@@ -13,6 +13,9 @@ type iteration = {
   batch_best : float;
   batch_mean : float;
   r2 : float option;  (** surrogate quality; [None] for the random batch *)
+  pred_std : float option;
+      (** mean ensemble uncertainty ({!Surf.Forest.predict_std}) over the
+          proposed batch; [None] for the initial random batch *)
 }
 
 (** Fraction of the pool evaluated so far (0 for an empty pool). *)

@@ -27,32 +27,11 @@ type t = {
 
 (* Every field of the architecture description participates: the two
    calibration constants and the memory hierarchy all shape the objective
-   landscape, so any difference must separate cache entries. *)
-let arch_fingerprint (a : Gpusim.Arch.t) =
-  String.concat "|"
-    [
-      a.name;
-      a.codename;
-      string_of_int a.sm_count;
-      Printf.sprintf "%.6g" a.clock_ghz;
-      string_of_int a.warp_size;
-      string_of_int a.dp_lanes_per_sm;
-      string_of_int a.schedulers_per_sm;
-      string_of_int a.issue_per_scheduler;
-      string_of_int a.max_threads_per_sm;
-      string_of_int a.max_blocks_per_sm;
-      string_of_int a.max_threads_per_block;
-      string_of_int a.regs_per_sm;
-      string_of_int a.l1_bytes;
-      string_of_bool a.l1_caches_global;
-      string_of_int a.l2_bytes;
-      Printf.sprintf "%.6g" a.mem_bw_gbs;
-      Printf.sprintf "%.6g" a.bw_efficiency;
-      Printf.sprintf "%.6g" a.issue_efficiency;
-      Printf.sprintf "%.6g" a.kernel_launch_us;
-      Printf.sprintf "%.6g" a.pcie_bw_gbs;
-      Printf.sprintf "%.6g" a.pcie_latency_us;
-    ]
+   landscape, so any difference must separate cache entries. The string is
+   {!Gpusim.Arch.fingerprint} - the same identity the tuning journal
+   records, so cache keys and journaled runs agree on what "same device"
+   means. *)
+let arch_fingerprint = Gpusim.Arch.fingerprint
 
 (* Apply name substitutions without touching structure; identity for names
    the functions leave alone. *)

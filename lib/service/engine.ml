@@ -99,9 +99,14 @@ let tune_canonical t ~inner_parallel (canon : Canonical.t) =
       Some (Scheduler.run_thunks t.sched)
     else None
   in
+  (* journal_key/journal_seed annotate the flight-recorder entry when
+     journaling is on, so every cold tune the service performs - single
+     request, deduplicated batch, or scheduler-parallel - is journaled
+     under its canonical key *)
   Autotune.Tuner.tune
     ~strategy:(Autotune.Tuner.Surf_search cfg)
     ~reps:t.cfg.reps ~pool_per_variant:t.cfg.pool_per_variant ?batch_map
+    ~journal_key:canon.Canonical.key ~journal_seed:t.cfg.seed
     ~rng:(Util.Rng.create t.cfg.seed) ~arch:t.cfg.arch (Canonical.benchmark canon)
 
 (* Rebuild a result from a cached artifact: parse the canonical program and

@@ -1,0 +1,54 @@
+(* Mapping surrogate internals back to the vocabulary of the search space.
+
+   The forest is trained on binarized columns ("tx=i", "op1_u_a", ...);
+   users reason about the named decomposition parameters those columns came
+   from. [named_importances] folds the per-column split-gain importances of
+   {!Forest.importance} back through the {!Feature} schema, summing every
+   one-hot column of a categorical parameter onto its base name, so the
+   report answers "which *parameter* mattered" rather than "which column". *)
+
+let base_name = function
+  | Feature.Numeric name -> name
+  | Feature.Onehot (name, _) -> name
+
+(* Named importances, descending by weight (ties broken by name so the
+   order is deterministic). Grouping preserves the column sum: when the
+   column importances sum to 1, so do the named ones. *)
+let named_importances (schema : Feature.schema) (importance : float array) =
+  if Array.length importance <> Array.length schema.columns then
+    invalid_arg "Explain.named_importances: importance/schema width mismatch";
+  let totals = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iteri
+    (fun i col ->
+      let name = base_name col in
+      (match Hashtbl.find_opt totals name with
+      | None ->
+        order := name :: !order;
+        Hashtbl.add totals name importance.(i)
+      | Some w -> Hashtbl.replace totals name (w +. importance.(i))))
+    schema.columns;
+  List.rev !order
+  |> List.map (fun name -> (name, Hashtbl.find totals name))
+  |> List.sort (fun (na, wa) (nb, wb) ->
+         match compare wb wa with 0 -> compare na nb | c -> c)
+
+(* R-squared of the surrogate's predictions against what was measured, over
+   the model-guided evaluations of a search. *)
+let residual_r2 (residuals : ('a * float * float) list) =
+  match residuals with
+  | [] | [ _ ] -> None
+  | _ ->
+    let predicted = List.map (fun (_, p, _) -> p) residuals in
+    let actual = List.map (fun (_, _, m) -> m) residuals in
+    Some (Util.Stats.r_squared ~actual ~predicted)
+
+(* The [n] worst over-predictions: evaluations where the model believed the
+   configuration was faster than it measured (measured - predicted
+   largest). These are the optimism errors that make a search evaluate
+   duds. *)
+let worst_overpredictions ~n (residuals : ('a * float * float) list) =
+  List.stable_sort
+    (fun (_, pa, ma) (_, pb, mb) -> compare (mb -. pb) (ma -. pa))
+    residuals
+  |> List.filteri (fun i _ -> i < n)

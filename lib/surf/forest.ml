@@ -23,6 +23,14 @@ let predict t features =
   let s = Array.fold_left (fun acc tree -> acc +. Tree.predict tree features) 0.0 t.trees in
   s /. float_of_int (Array.length t.trees)
 
+(* Split-gain feature importance over the whole ensemble, normalized to
+   sum to 1 (all zeros when no tree ever split - e.g. constant targets). *)
+let importance t ~dims =
+  let acc = Array.make dims 0.0 in
+  Array.iter (fun tree -> Tree.add_importance tree acc) t.trees;
+  let total = Array.fold_left ( +. ) 0.0 acc in
+  if total > 0.0 then Array.map (fun g -> g /. total) acc else acc
+
 let predict_std t features =
   let n = Array.length t.trees in
   let preds = Array.map (fun tree -> Tree.predict tree features) t.trees in

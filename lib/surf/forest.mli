@@ -17,3 +17,8 @@ val predict : t -> float array -> float
 
 (** Ensemble standard deviation: a crude uncertainty proxy. *)
 val predict_std : t -> float array -> float
+
+(** Split-gain importance per feature column, over every split of every
+    tree, normalized to sum to 1 (all zeros when no tree ever split).
+    [dims] is the feature-vector width the forest was trained on. *)
+val importance : t -> dims:int -> float array

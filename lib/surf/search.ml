@@ -10,21 +10,37 @@
 
 type 'a evaluation = { config : 'a; objective : float }
 
+(* Surrogate explainability, built from the *final* refit of the search:
+   what the model learned (per-column split-gain importance), how well it
+   predicted what it proposed (residuals over every model-guided
+   evaluation), and what it pruned (the best-predicted configurations the
+   budget never reached). *)
+type 'a explain = {
+  importance : float array;  (* per encoded feature column, sums to 1 *)
+  residuals : ('a * float * float) list;  (* config, predicted, measured *)
+  rivals : ('a * float * float) list;
+      (* unevaluated configs the final model ranked best:
+         config, predicted objective, ensemble std *)
+}
+
 type 'a result = {
   best : 'a evaluation;
   history : 'a evaluation list;  (* in evaluation order *)
   evaluations : int;
   pool_size : int;
   iterations : Obs.Search_log.iteration list;  (* per-batch telemetry *)
+  explain : 'a explain option;  (* None until a surrogate was ever fit *)
 }
 
 type config = {
   batch_size : int;
   max_evals : int;
+  rivals : int;  (* rejected rivals kept on [explain] *)
   forest : Forest.params;
 }
 
-let default_config = { batch_size = 10; max_evals = 100; forest = Forest.default_params }
+let default_config =
+  { batch_size = 10; max_evals = 100; rivals = 10; forest = Forest.default_params }
 
 let best_of history =
   match history with
@@ -32,13 +48,14 @@ let best_of history =
   | e :: rest ->
     List.fold_left (fun acc e -> if e.objective < acc.objective then e else acc) e rest
 
-let make_result ?(iterations = []) ~pool_size history =
+let make_result ?(iterations = []) ?explain ~pool_size history =
   {
     best = best_of history;
     history = List.rev history;
     evaluations = List.length history;
     pool_size;
     iterations;
+    explain;
   }
 
 (* Exhaustive evaluation: the brute-force baseline of prior work [25]. *)
@@ -101,7 +118,7 @@ let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
      is the surrogate's prediction for each evaluated configuration, in
      batch order; its agreement with the measured objectives
      (Util.Stats.r_squared) is the logged surrogate quality. *)
-  let log_iteration ?predicted span objectives =
+  let log_iteration ?predicted ?pred_std span objectives =
     match objectives with
     | [] -> ()
     | _ ->
@@ -125,6 +142,7 @@ let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
           batch_best = Util.Stats.min_list objectives;
           batch_mean = Util.Stats.mean objectives;
           r2;
+          pred_std;
         }
       in
       iterations := it :: !iterations;
@@ -138,7 +156,11 @@ let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
           (Util.Rng.sample_without_replacement rng bs (Array.of_list !remaining))
       in
       log_iteration span (evaluate initial));
-  (* lines 5-12: iterative model-guided batches, one span per refit *)
+  (* lines 5-12: iterative model-guided batches, one span per refit. The
+     last fitted model and the (predicted, measured) pair of every
+     model-guided evaluation feed the explainability report. *)
+  let final_model = ref None in
+  let residuals = ref [] in
   let continue () = List.length !history < nmax && !remaining <> [] in
   while continue () do
     Obs.Trace.with_span ~cat:"surf" "surf.iteration" (fun span ->
@@ -147,6 +169,7 @@ let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
         in
         let y = Array.of_list (List.rev_map (fun e -> e.objective) !history) in
         let model = Forest.fit ~params:config.forest (Util.Rng.split rng) x y in
+        final_model := Some model;
         let scored =
           List.map (fun c -> (Forest.predict model (encode c), c)) !remaining
         in
@@ -154,9 +177,43 @@ let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
         let chosen = List.filteri (fun i _ -> i < bs) sorted in
         let batch = List.map snd chosen in
         let predicted = List.map fst chosen in
-        log_iteration ~predicted span (evaluate batch))
+        let objectives = evaluate batch in
+        let k = List.length objectives in
+        let evaluated = List.filteri (fun i _ -> i < k) batch in
+        List.iter2
+          (fun c (p, o) -> residuals := (c, p, o) :: !residuals)
+          evaluated
+          (List.combine (List.filteri (fun i _ -> i < k) predicted) objectives);
+        let pred_std =
+          match evaluated with
+          | [] -> None
+          | _ ->
+            Some
+              (Util.Stats.mean
+                 (List.map (fun c -> Forest.predict_std model (encode c)) evaluated))
+        in
+        log_iteration ~predicted ?pred_std span objectives)
   done;
-  let result = make_result ~iterations:(List.rev !iterations) ~pool_size !history in
+  let explain =
+    match !final_model with
+    | None -> None
+    | Some model ->
+      let dims = Array.length (encode pool.(0)) in
+      let rivals =
+        List.map
+          (fun c ->
+            let f = encode c in
+            (c, Forest.predict model f, Forest.predict_std model f))
+          !remaining
+        |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+        |> List.filteri (fun i _ -> i < max 0 config.rivals)
+      in
+      Some
+        { importance = Forest.importance model ~dims;
+          residuals = List.rev !residuals;
+          rivals }
+  in
+  let result = make_result ~iterations:(List.rev !iterations) ?explain ~pool_size !history in
   Obs.Trace.add_attrs search_span
     [
       ("evaluations", string_of_int result.evaluations);

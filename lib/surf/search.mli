@@ -7,6 +7,20 @@
 
 type 'a evaluation = { config : 'a; objective : float }
 
+(** Surrogate explainability, built from the final refit: what the model
+    learned, how well it predicted what it proposed, and what it pruned. *)
+type 'a explain = {
+  importance : float array;
+      (** split-gain importance per encoded feature column, sums to 1 *)
+  residuals : ('a * float * float) list;
+      (** (config, predicted, measured) for every model-guided evaluation,
+          in evaluation order - the surrogate's track record *)
+  rivals : ('a * float * float) list;
+      (** the unevaluated configurations the final model ranked best:
+          (config, predicted objective, ensemble std) - what the search
+          pruned, with the belief it pruned them on *)
+}
+
 type 'a result = {
   best : 'a evaluation;
   history : 'a evaluation list;  (** in evaluation order *)
@@ -15,11 +29,15 @@ type 'a result = {
   iterations : Obs.Search_log.iteration list;
       (** per-batch convergence telemetry (best-so-far, pool coverage,
           surrogate R-squared); empty for the non-iterative baselines *)
+  explain : 'a explain option;
+      (** [None] until a surrogate was ever fit (non-SURF strategies, or a
+          budget exhausted by the initial random batch) *)
 }
 
 type config = {
   batch_size : int;  (** concurrent evaluations per iteration *)
   max_evals : int;  (** the n_max stopping criterion *)
+  rivals : int;  (** rejected rivals kept on [explain] (default 10) *)
   forest : Forest.params;
 }
 

@@ -7,7 +7,13 @@
 
 type node =
   | Leaf of float
-  | Split of { feature : int; threshold : float; left : node; right : node }
+  | Split of {
+      feature : int;
+      threshold : float;
+      gain : float;  (* SSE reduction of this split, for importances *)
+      left : node;
+      right : node;
+    }
 
 type t = { root : node }
 
@@ -86,8 +92,10 @@ let fit ?params rng (x : float array array) (y : float array) =
       done;
       match !best with
       | None -> Leaf (mean_of idx y)
-      | Some (_, f, thr, l, r) ->
-        Split { feature = f; threshold = thr; left = build l (depth + 1); right = build r (depth + 1) }
+      | Some (gain, f, thr, l, r) ->
+        Split
+          { feature = f; threshold = thr; gain;
+            left = build l (depth + 1); right = build r (depth + 1) }
     end
   in
   { root = build (Array.init (Array.length x) (fun i -> i)) 0 }
@@ -95,7 +103,7 @@ let fit ?params rng (x : float array array) (y : float array) =
 let rec predict_node node (features : float array) =
   match node with
   | Leaf v -> v
-  | Split { feature; threshold; left; right } ->
+  | Split { feature; threshold; left; right; _ } ->
     if features.(feature) <= threshold then predict_node left features
     else predict_node right features
 
@@ -112,3 +120,15 @@ let rec leaves_node = function
   | Split { left; right; _ } -> leaves_node left + leaves_node right
 
 let num_leaves t = leaves_node t.root
+
+(* Accumulate each split's variance-reduction gain onto its feature: the
+   classic split-gain importance, summed here so the forest can normalize
+   across its whole ensemble. *)
+let rec add_importance_node acc = function
+  | Leaf _ -> ()
+  | Split { feature; gain; left; right; _ } ->
+    acc.(feature) <- acc.(feature) +. gain;
+    add_importance_node acc left;
+    add_importance_node acc right
+
+let add_importance t acc = add_importance_node acc t.root

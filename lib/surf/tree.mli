@@ -7,7 +7,13 @@
 
 type node =
   | Leaf of float
-  | Split of { feature : int; threshold : float; left : node; right : node }
+  | Split of {
+      feature : int;
+      threshold : float;
+      gain : float;  (** SSE reduction of this split, for importances *)
+      left : node;
+      right : node;
+    }
 
 type t = { root : node }
 
@@ -26,3 +32,7 @@ val fit : ?params:params -> Util.Rng.t -> float array array -> float array -> t
 val predict : t -> float array -> float
 val depth : t -> int
 val num_leaves : t -> int
+
+(** Add every split's variance-reduction gain onto [acc.(feature)] - the
+    per-tree half of split-gain feature importance. *)
+val add_importance : t -> float array -> unit

@@ -28,4 +28,5 @@ let () =
       ("edges", Test_edges.suite);
       ("service", Test_service.suite);
       ("perfobs", Test_perfobs.suite);
+      ("journal", Test_journal.suite);
     ]

@@ -1,0 +1,354 @@
+(* Tuning flight recorder: journal codec and file round-trips, torn-tail
+   recovery, the disabled-by-default sink, fixed-seed determinism with
+   journaling on, surrogate explainability, and the replay-drift gate. *)
+
+let arch = Gpusim.Arch.gtx980
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let check_contains what haystack needle =
+  Alcotest.(check bool) (what ^ ": contains " ^ needle) true (contains haystack needle)
+
+(* One small journaled tune, shared by the tests below (the search has
+   model-guided iterations: 40-candidate-per-variant pool, 30-eval budget,
+   batch 6). *)
+let seed = 21
+
+let tune_once ~journal () =
+  let b = Benchsuite.Suite.eqn1 ~n:6 () in
+  let cfg = { Surf.Search.default_config with max_evals = 30; batch_size = 6 } in
+  let tune () =
+    Autotune.Tuner.tune
+      ~strategy:(Autotune.Tuner.Surf_search cfg)
+      ~pool_per_variant:40 ~journal_seed:seed
+      ~rng:(Util.Rng.create seed) ~arch b
+  in
+  if journal then Obs.Journal.collect tune else (tune (), [])
+
+let fixture =
+  lazy
+    (match tune_once ~journal:true () with
+    | result, [ entry ] -> (result, entry)
+    | _, es -> Alcotest.failf "expected one journal entry, got %d" (List.length es))
+
+(* ---------------- lineage hashes ---------------- *)
+
+let test_stage_chained () =
+  let a = Obs.Journal.stage "" "dsl text" in
+  Alcotest.(check string) "deterministic" a (Obs.Journal.stage "" "dsl text");
+  Alcotest.(check bool) "content changes the hash" true
+    (a <> Obs.Journal.stage "" "other text");
+  Alcotest.(check bool) "parent changes the hash" true
+    (Obs.Journal.stage a "x" <> Obs.Journal.stage "other" "x")
+
+let test_lineage_matches_provenance () =
+  let result, entry = Lazy.force fixture in
+  let best = result.Autotune.Tuner.best in
+  let dsl =
+    Autotune.Provenance.dsl_of_statements result.benchmark.statements
+  in
+  let lineage =
+    Autotune.Provenance.lineage ~dsl ~variant_ids:best.variant_ids ~ir:best.ir
+      ~points:best.points
+  in
+  Alcotest.(check bool) "winner lineage recomputes identically" true
+    (lineage = entry.winner.lineage);
+  (* five distinct stages, each chained onto the previous *)
+  let hs =
+    [
+      lineage.dsl_hash; lineage.variant_hash; lineage.tcr_hash;
+      lineage.recipe_hash; lineage.kernel_hash;
+    ]
+  in
+  check_int "five distinct stage hashes" 5 (List.length (List.sort_uniq compare hs))
+
+let test_dsl_regeneration_roundtrips () =
+  let result, entry = Lazy.force fixture in
+  let b' =
+    Autotune.Tuner.benchmark_of_dsl ~label:entry.label entry.dsl
+  in
+  Alcotest.(check bool) "reparsed contractions identical" true
+    (b'.statements = result.benchmark.statements)
+
+(* ---------------- entry codec ---------------- *)
+
+let test_entry_json_roundtrip () =
+  let _, entry = Lazy.force fixture in
+  match Obs.Journal.of_json (Obs.Json.parse_exn (Obs.Json.to_string (Obs.Journal.to_json entry))) with
+  | Ok e -> Alcotest.(check bool) "round-trips structurally" true (e = entry)
+  | Error msg -> Alcotest.fail msg
+
+let test_run_id_content_addressed () =
+  let _, entry = Lazy.force fixture in
+  Alcotest.(check string) "id ignores stamping"
+    (Obs.Journal.run_id entry)
+    (Obs.Journal.run_id { entry with run_id = "zzz"; timestamp = 123.0 });
+  Alcotest.(check bool) "id depends on content" true
+    (Obs.Journal.run_id { entry with seed = seed + 1 } <> Obs.Journal.run_id entry);
+  Alcotest.(check string) "recorded entry carries its own id" entry.run_id
+    (Obs.Journal.run_id entry)
+
+(* ---------------- file round-trip and torn tail ---------------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_append_load_roundtrip () =
+  let _, entry = Lazy.force fixture in
+  with_temp_journal @@ fun path ->
+  Obs.Journal.append path entry;
+  Obs.Journal.append path { entry with label = "second" };
+  let entries, discarded = Obs.Journal.load path in
+  check_int "both entries" 2 (List.length entries);
+  check_int "nothing discarded" 0 discarded;
+  Alcotest.(check bool) "first round-trips" true (List.hd entries = entry)
+
+(* A crash mid-append leaves a half-written last line: the reader recovers
+   every complete entry and reports the torn tail. *)
+let test_torn_tail_recovery () =
+  let _, entry = Lazy.force fixture in
+  with_temp_journal @@ fun path ->
+  Obs.Journal.append path entry;
+  let full = Obs.Json.to_string (Obs.Journal.to_json entry) in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (String.sub full 0 (String.length full / 2));
+  close_out oc;
+  let entries, discarded = Obs.Journal.load path in
+  check_int "complete entry recovered" 1 (List.length entries);
+  check_int "torn tail reported" 1 discarded;
+  Alcotest.(check bool) "recovered intact" true (List.hd entries = entry)
+
+let test_load_missing_file () =
+  let entries, discarded = Obs.Journal.load "/nonexistent/journal.jsonl" in
+  check_int "empty journal" 0 (List.length entries);
+  check_int "nothing discarded" 0 discarded
+
+let test_find () =
+  let _, entry = Lazy.force fixture in
+  let e2 = { entry with label = "other"; run_id = "" } in
+  let e2 = { e2 with run_id = Obs.Journal.run_id e2 } in
+  let entries = [ entry; e2 ] in
+  (match Obs.Journal.find entries ~run:"latest" with
+  | Ok e -> Alcotest.(check string) "latest" "other" e.label
+  | Error msg -> Alcotest.fail msg);
+  (match Obs.Journal.find entries ~run:(String.sub entry.run_id 0 8) with
+  | Ok e -> Alcotest.(check string) "prefix lookup" entry.run_id e.run_id
+  | Error msg -> Alcotest.fail msg);
+  (match Obs.Journal.find entries ~run:"no-such-run" with
+  | Ok _ -> Alcotest.fail "expected a lookup failure"
+  | Error _ -> ());
+  match Obs.Journal.find [] ~run:"latest" with
+  | Ok _ -> Alcotest.fail "empty journal must not resolve"
+  | Error _ -> ()
+
+(* ---------------- sink ---------------- *)
+
+let test_sink_disabled_by_default () =
+  let _, entry = Lazy.force fixture in
+  Alcotest.(check bool) "disabled" false (Obs.Journal.enabled ());
+  Alcotest.(check bool) "record is a no-op" true (Obs.Journal.record entry = None)
+
+let test_sink_records_to_file () =
+  let _, entry = Lazy.force fixture in
+  with_temp_journal @@ fun path ->
+  Obs.Journal.start ~path ();
+  let id = Obs.Journal.record { entry with run_id = ""; timestamp = 0.0 } in
+  Obs.Journal.stop ();
+  Alcotest.(check bool) "returns the id" true (id = Some entry.run_id);
+  check_int "in-memory copy" 1 (List.length (Obs.Journal.entries ()));
+  let entries, _ = Obs.Journal.load path in
+  check_int "appended to the file" 1 (List.length entries);
+  Alcotest.(check bool) "timestamp stamped" true ((List.hd entries).timestamp > 0.0)
+
+(* ---------------- determinism ---------------- *)
+
+(* The acceptance bar: a fixed-seed tune is bit-identical with journaling
+   on and off, and the content-addressed run id is stable across runs. *)
+let test_journaling_preserves_determinism () =
+  let with_journal, entry = Lazy.force fixture in
+  let without_journal, none = tune_once ~journal:false () in
+  check_int "no entry when off" 0 (List.length none);
+  Alcotest.(check (list int)) "same winning variant"
+    without_journal.best.variant_ids with_journal.best.variant_ids;
+  Alcotest.(check (list string)) "same winning recipe"
+    (List.map Tcr.Space.point_key without_journal.best.points)
+    (List.map Tcr.Space.point_key with_journal.best.points);
+  Alcotest.(check (float 0.0)) "same gflops" without_journal.gflops
+    with_journal.gflops;
+  Alcotest.(check bool) "same convergence curve" true
+    (without_journal.convergence = with_journal.convergence);
+  match tune_once ~journal:true () with
+  | _, [ entry2 ] ->
+    Alcotest.(check string) "stable content-addressed run id" entry.run_id
+      entry2.run_id
+  | _ -> Alcotest.fail "expected one journal entry"
+
+let test_entry_records_the_run () =
+  let result, entry = Lazy.force fixture in
+  Alcotest.(check string) "label" result.benchmark.label entry.label;
+  Alcotest.(check string) "arch fingerprint"
+    (Gpusim.Arch.fingerprint arch) entry.arch;
+  check_int "seed" seed entry.seed;
+  check_int "evaluations" result.evaluations entry.evaluations;
+  check_int "one variant per evaluation" result.evaluations
+    (List.length entry.variants);
+  check_int "iterations carried" (List.length result.iterations)
+    (List.length entry.iterations);
+  Alcotest.(check (float 0.0)) "winner time is the best measured"
+    (List.fold_left (fun acc (v : Obs.Journal.variant) -> min acc v.measured)
+       infinity entry.variants)
+    entry.winner.measured
+
+(* ---------------- explainability ---------------- *)
+
+let test_explain_report () =
+  let _, entry = Lazy.force fixture in
+  (* named importances from the final surrogate sum to ~1 *)
+  let sum = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entry.importances in
+  Alcotest.(check bool) "importances nonempty" true (entry.importances <> []);
+  Alcotest.(check bool) "importances sum to ~1" true (abs_float (sum -. 1.0) < 1e-6);
+  Alcotest.(check bool) "importances are named parameters" true
+    (List.mem_assoc "variant" entry.importances);
+  (* at least three rejected rivals, each with a predicted time *)
+  Alcotest.(check bool) "at least three rivals" true
+    (List.length entry.rivals >= 3);
+  List.iter
+    (fun (r : Obs.Journal.rival) ->
+      Alcotest.(check bool) "rival prediction positive" true (r.rival_predicted > 0.0))
+    entry.rivals;
+  let report = Obs.Journal.render_explain entry in
+  (* the full five-stage lineage chain is printed *)
+  List.iter (check_contains "explain" report)
+    [ "dsl"; "variant"; "tcr"; "recipe"; "kernel" ];
+  check_contains "explain" report "parameter importances";
+  check_contains "explain" report "(sum 1.000)";
+  check_contains "explain" report "rejected rivals";
+  check_contains "explain" report "predicted";
+  check_contains "explain" report (Obs.Journal.short entry.run_id)
+
+let test_history_report () =
+  let _, entry = Lazy.force fixture in
+  let report = Obs.Journal.render_history [ entry ] in
+  check_contains "history" report (Obs.Journal.short entry.run_id);
+  check_contains "history" report entry.label;
+  check_contains "history" report "1 run journaled"
+
+let test_surrogate_residuals () =
+  let result, entry = Lazy.force fixture in
+  match result.Autotune.Tuner.explain with
+  | None -> Alcotest.fail "surf tune must carry an explain payload"
+  | Some ex ->
+    (* every model-guided evaluation left a (predicted, measured) pair *)
+    Alcotest.(check bool) "residuals nonempty" true (ex.residuals <> []);
+    Alcotest.(check bool) "residuals bounded by evaluations" true
+      (List.length ex.residuals < result.evaluations);
+    (match Surf.Explain.residual_r2 ex.residuals with
+    | None -> Alcotest.fail "expected an R^2 over the residuals"
+    | Some r2 -> Alcotest.(check bool) "r2 is finite" true (Float.is_finite r2));
+    (match entry.residual_r2 with
+    | None -> Alcotest.fail "journal entry must carry the residual R^2"
+    | Some _ -> ());
+    check_int "worst-overprediction list is bounded" 2
+      (List.length (Surf.Explain.worst_overpredictions ~n:2 ex.residuals))
+
+let test_named_importances_grouping () =
+  let schema =
+    {
+      Surf.Feature.columns =
+        [|
+          Surf.Feature.Onehot ("tx", "i"); Surf.Feature.Onehot ("tx", "j");
+          Surf.Feature.Numeric "uk";
+        |];
+    }
+  in
+  let named = Surf.Explain.named_importances schema [| 0.25; 0.25; 0.5 |] in
+  Alcotest.(check bool) "one-hot columns grouped" true
+    (named = [ ("tx", 0.5); ("uk", 0.5) ] || named = [ ("uk", 0.5); ("tx", 0.5) ]);
+  match Surf.Explain.named_importances schema [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width mismatch must raise"
+
+let test_pred_std_logged () =
+  let result, _ = Lazy.force fixture in
+  (match result.Autotune.Tuner.iterations with
+  | first :: rest ->
+    Alcotest.(check bool) "random batch has no pred_std" true
+      (first.Obs.Search_log.pred_std = None);
+    Alcotest.(check bool) "a model-guided iteration logs pred_std" true
+      (List.exists
+         (fun (it : Obs.Search_log.iteration) ->
+           match it.pred_std with Some s -> s >= 0.0 | None -> false)
+         rest)
+  | [] -> Alcotest.fail "expected iterations");
+  let rendered = Obs.Search_log.render ~label:"t" result.iterations in
+  check_contains "convergence report" rendered "pred-std"
+
+(* ---------------- replay ---------------- *)
+
+let test_replay_reproduces () =
+  let _, entry = Lazy.force fixture in
+  match Autotune.Replay.replay ~arch entry with
+  | Error msg -> Alcotest.fail msg
+  | Ok v ->
+    Alcotest.(check bool) "winning kernel hash reproduced" true v.kernel_match;
+    Alcotest.(check (float 0.0)) "no time drift" 1.0 v.time_ratio;
+    Alcotest.(check bool) "verdict ok" true (Autotune.Replay.ok v);
+    check_contains "replay report" (Autotune.Replay.render v) "verdict: ok"
+
+let test_replay_rejects_bad_entries () =
+  let _, entry = Lazy.force fixture in
+  (match Autotune.Replay.replay ~arch { entry with seed = -1 } with
+  | Ok _ -> Alcotest.fail "seedless entries must not replay"
+  | Error msg -> check_contains "error" msg "seed");
+  match Autotune.Replay.replay ~arch:Gpusim.Arch.k20 entry with
+  | Ok _ -> Alcotest.fail "fingerprint mismatch must not replay"
+  | Error msg -> check_contains "error" msg "drift"
+
+let test_replay_detects_drift () =
+  let _, entry = Lazy.force fixture in
+  (* simulate a recorded winner from an older toolchain: different kernel
+     hash and a slower measured time *)
+  let winner =
+    {
+      entry.Obs.Journal.winner with
+      lineage = { entry.winner.lineage with kernel_hash = "stale" };
+      measured = entry.winner.measured *. 2.0;
+    }
+  in
+  match Autotune.Replay.replay ~arch { entry with winner } with
+  | Error msg -> Alcotest.fail msg
+  | Ok v ->
+    Alcotest.(check bool) "kernel drift flagged" false v.kernel_match;
+    Alcotest.(check bool) "time drift flagged" false v.time_ok;
+    Alcotest.(check bool) "verdict is drift" false (Autotune.Replay.ok v);
+    check_contains "drift report" (Autotune.Replay.render v) "DRIFT"
+
+let suite =
+  [
+    ("lineage stage hashes chain", `Quick, test_stage_chained);
+    ("winner lineage matches provenance", `Quick, test_lineage_matches_provenance);
+    ("journaled dsl reparses identically", `Quick, test_dsl_regeneration_roundtrips);
+    ("entry json round-trip", `Quick, test_entry_json_roundtrip);
+    ("run id is content-addressed", `Quick, test_run_id_content_addressed);
+    ("append/load round-trip", `Quick, test_append_load_roundtrip);
+    ("torn tail recovery", `Quick, test_torn_tail_recovery);
+    ("missing journal is empty", `Quick, test_load_missing_file);
+    ("find by id, prefix and latest", `Quick, test_find);
+    ("sink disabled by default", `Quick, test_sink_disabled_by_default);
+    ("sink records to file", `Quick, test_sink_records_to_file);
+    ("journaling preserves determinism", `Quick, test_journaling_preserves_determinism);
+    ("entry records the run", `Quick, test_entry_records_the_run);
+    ("explain report", `Quick, test_explain_report);
+    ("history report", `Quick, test_history_report);
+    ("surrogate residuals", `Quick, test_surrogate_residuals);
+    ("named importances grouping", `Quick, test_named_importances_grouping);
+    ("pred-std logged per iteration", `Quick, test_pred_std_logged);
+    ("replay reproduces the winner", `Quick, test_replay_reproduces);
+    ("replay rejects bad entries", `Quick, test_replay_rejects_bad_entries);
+    ("replay detects drift", `Quick, test_replay_detects_drift);
+  ]

@@ -224,10 +224,11 @@ let iter0 =
     batch_best = 5.0;
     batch_mean = 7.5;
     r2 = None;
+    pred_std = None;
   }
 
 let iter1 =
-  { iter0 with Obs.Search_log.iter = 1; evaluations = 20; best_so_far = 3.0; r2 = Some 0.8 }
+  { iter0 with Obs.Search_log.iter = 1; evaluations = 20; best_so_far = 3.0; r2 = Some 0.8; pred_std = Some 0.4 }
 
 let test_search_log () =
   check_bool "coverage" true

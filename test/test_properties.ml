@@ -159,6 +159,65 @@ let qcheck_forest_prediction_in_range =
       (* tree leaves are averages of targets: predictions cannot escape *)
       p >= lo -. 1e-9 && p <= hi +. 1e-9)
 
+(* --- Obs.Json codec: the tuning journal rides on it, so the render/parse
+   round-trip is pinned on adversarial inputs - control characters, raw
+   bytes, \u escapes (including the surrogate range), extreme and
+   non-finite floats. --- *)
+
+let arbitrary_bytes =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 48))
+
+let qcheck_json_string_roundtrip =
+  QCheck.Test.make ~name:"json string round-trip incl. control chars" ~count:300
+    arbitrary_bytes
+    (fun s ->
+      match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Str s)) with
+      | Ok (Obs.Json.Str s') -> s' = s
+      | _ -> false)
+
+let qcheck_json_parse_total =
+  QCheck.Test.make ~name:"json parse never raises on garbage" ~count:300
+    arbitrary_bytes
+    (fun s -> match Obs.Json.parse s with Ok _ | Error _ -> true)
+
+let qcheck_json_extreme_float_roundtrip =
+  QCheck.Test.make ~name:"json extreme finite floats round-trip" ~count:300
+    QCheck.(pair (int_range (-999999) 999999) (int_range (-300) 300))
+    (fun (m, e) ->
+      let f = float_of_int m *. (10.0 ** float_of_int e) in
+      QCheck.assume (Float.is_finite f);
+      match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Num f)) with
+      | Ok (Obs.Json.Num f') -> f' = f
+      | _ -> false)
+
+let qcheck_json_nonfinite_as_null =
+  QCheck.Test.make ~name:"json non-finite floats serialize as null" ~count:10
+    QCheck.(oneofl [ nan; infinity; neg_infinity ])
+    (fun f ->
+      Obs.Json.to_string (Obs.Json.Num f) = "null"
+      &&
+      match Option.map Float.is_nan (Obs.Json.get_num (Obs.Json.parse_exn "null")) with
+      | Some true -> true
+      | _ -> false)
+
+let qcheck_json_u_escape_total =
+  QCheck.Test.make
+    ~name:"json \\u escapes parse totally (incl. surrogate range)" ~count:300
+    QCheck.(int_range 0 0xFFFF)
+    (fun code ->
+      let doc = Printf.sprintf "\"pre\\u%04xpost\"" code in
+      match Obs.Json.parse doc with
+      | Ok (Obs.Json.Str s) ->
+        (* pre + 1-3 bytes of UTF-8 + post *)
+        let n = String.length s in
+        n >= 8 && n <= 10
+        && String.sub s 0 3 = "pre"
+        && String.sub s (n - 4) 4 = "post"
+      | Ok _ -> false
+      | Error _ -> true)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -172,4 +231,9 @@ let suite =
       qcheck_plan_count_formula;
       qcheck_surf_never_repeats;
       qcheck_forest_prediction_in_range;
+      qcheck_json_string_roundtrip;
+      qcheck_json_parse_total;
+      qcheck_json_extreme_float_roundtrip;
+      qcheck_json_nonfinite_as_null;
+      qcheck_json_u_escape_total;
     ]
