@@ -7,6 +7,7 @@
      tune      run the full pipeline (SURF autotuning) and report
      cuda      tune and emit the optimized CUDA translation unit
      c         emit sequential C or OpenACC renderings
+     check     statically verify a program across all variants and points
      batch     serve many requests via the tuning service (cache + domains)
      stats     inspect a persistent tuning-cache directory
      trace     tune with tracing on; write a Chrome/Perfetto trace-event JSON
@@ -686,6 +687,108 @@ let cmd_profile =
       const run $ setup_logs $ src_args $ arch_arg $ seed_arg $ evals_arg $ prune_arg
       $ top_arg $ out_arg)
 
+(* ---------------- check ---------------- *)
+
+let cmd_check =
+  let file_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Tensor program file.")
+  in
+  let expr_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Tensor program given inline.")
+  in
+  let einsum_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "einsum" ] ~docv:"SPEC"
+          ~doc:"NumPy-style einsum spec, e.g. 'lk,mj,ni,lmn->ijk'.")
+  in
+  let tcr_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcr" ] ~docv:"FILE"
+          ~doc:
+            "Verify a textual TCR program (well-formedness layer only) instead \
+             of a DSL source. The file is parsed without the parser's own \
+             validation, so deliberately broken programs are diagnosed rather \
+             than rejected at parse time.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as machine-readable JSON.")
+  in
+  let max_points_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-points" ] ~docv:"N"
+          ~doc:
+            "Verify at most N search points per statement space (default: the \
+             whole space).")
+  in
+  let no_lints_flag =
+    Arg.(
+      value & flag
+      & info [ "no-lints" ]
+          ~doc:"Errors only: skip the warning-level kernel lints.")
+  in
+  let run () file expr einsum tcr arch json max_points no_lints =
+    let lints = not no_lints in
+    let report =
+      match tcr with
+      | Some path ->
+        let text = Util.Fs.read_file path in
+        let ir = Tcr.Read.program ~validate:false text in
+        { Check.Verify.empty_report with diags = Check.Verify.ir ir }
+      | None ->
+        let src = read_program file expr einsum in
+        let b = Barracuda.parse src in
+        let labeled =
+          List.map
+            (fun (c : Autotune.Tuner.variant_choice) ->
+              ( Printf.sprintf "v%s" (String.concat "." (List.map string_of_int c.ids)),
+                c.spaces ))
+            (Autotune.Tuner.variant_choices b)
+        in
+        Check.Verify.program ~lints ?max_points_per_op:max_points ~arch labeled
+    in
+    if json then print_endline (Obs.Json.to_string (Check.Verify.report_json report))
+    else begin
+      if report.variants > 0 then
+        Printf.printf "verified %d variant%s: %d search points, %d kernels%s\n"
+          report.variants
+          (if report.variants = 1 then "" else "s")
+          report.points_checked report.kernels_checked
+          (if report.truncated then " (per-op point cap reached)" else "");
+      Printf.printf "errors %d, warnings %d, infos %d\n"
+        (List.length (Check.Diag.errors report.diags))
+        (List.length (Check.Diag.warnings report.diags))
+        (List.length (Check.Diag.infos report.diags));
+      if report.diags <> [] then begin
+        print_newline ();
+        print_string (Check.Diag.render_report report.diags)
+      end
+    end;
+    if Check.Diag.has_errors report.diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify a tensor program end to end: TCR well-formedness, \
+          recipe legality of every search point, and kernel resource analysis \
+          (bounds proof, registers, launch limits) for every variant. Exits \
+          nonzero when any error-severity diagnostic is found.")
+    Term.(
+      const run $ setup_logs $ file_arg $ expr_arg $ einsum_arg $ tcr_arg $ arch_arg
+      $ json_flag $ max_points_arg $ no_lints_flag)
+
 (* ---------------- archs ---------------- *)
 
 let cmd_archs =
@@ -780,6 +883,7 @@ let subcommands =
     ("driver", "tune and emit a standalone CUDA driver");
     ("c", "emit sequential C or OpenACC renderings");
     ("inspect", "tune and print the per-kernel performance-model breakdown");
+    ("check", "statically verify a program across all variants and points");
     ("batch", "serve many requests via the tuning service (cache + domains)");
     ("stats", "inspect a persistent tuning-cache directory");
     ("trace", "tune with tracing on; write a Chrome trace-event JSON");
@@ -811,7 +915,7 @@ let () =
   let group =
     Cmd.group info
       [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
-        cmd_driver; cmd_c; cmd_inspect; cmd_batch; cmd_stats; cmd_trace;
+        cmd_driver; cmd_c; cmd_inspect; cmd_check; cmd_batch; cmd_stats; cmd_trace;
         cmd_report; cmd_profile; cmd_archs; cmd_history; cmd_explain; cmd_replay ]
   in
   match Array.to_list Sys.argv with

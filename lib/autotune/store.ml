@@ -156,6 +156,7 @@ let restore_result ?(reps = 100) ~arch (b : Tuner.benchmark) (s : saved) =
     iterations = [];
     importances = [];
     explain = None;
+    gate = Check.Verify.empty_stats;
   }
 
 let load_file (b : Tuner.benchmark) path =

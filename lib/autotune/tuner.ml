@@ -40,6 +40,8 @@ type result = {
   (* named-parameter split-gain importances of the final surrogate,
      descending; [] when no surrogate was fit *)
   explain : candidate Surf.Search.explain option;  (* surrogate post-mortem *)
+  gate : Check.Verify.gate_stats;
+  (* what the static pre-evaluation gate saw; empty when it was off *)
 }
 
 let benchmark_of_dsl ~label src =
@@ -94,10 +96,14 @@ let candidate_of (c : variant_choice) points =
 
 (* Build the SURF pool: enumerate a variant's space when it is small,
    otherwise sample without replacement via rejection on the point key.
-   An optional pruning [policy] (see {!Tcr.Prune}) filters points first. *)
-let build_pool ?(pool_per_variant = 600) ?prune rng choices =
+   An optional pruning [policy] (see {!Tcr.Prune}) filters points first;
+   an optional [gate] (the static verifier) runs after it - pruned points
+   are never gate-checked, so the gate's counters report only points that
+   would otherwise have been measured. *)
+let build_pool ?(pool_per_variant = 600) ?prune ?gate rng choices =
   let point_ok space p =
-    match prune with None -> true | Some policy -> Tcr.Prune.point_ok policy space p
+    (match prune with None -> true | Some policy -> Tcr.Prune.point_ok policy space p)
+    && match gate with None -> true | Some g -> g space p
   in
   let pool = ref [] in
   List.iter
@@ -140,8 +146,8 @@ type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
 (* [journal_key] and [journal_seed] only annotate the flight-recorder entry
    (canonical problem key, RNG seed); they never influence the tune. *)
 let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
-    ?(pool_per_variant = 600) ?prune ?batch_map ?(journal_key = "")
-    ?(journal_seed = -1) ~rng ~arch (b : benchmark) =
+    ?(pool_per_variant = 600) ?prune ?(static_gate = true) ?batch_map
+    ?(journal_key = "") ?(journal_seed = -1) ~rng ~arch (b : benchmark) =
   Obs.Trace.with_span ~cat:"autotune"
     ~attrs:(fun () -> [ ("label", b.label); ("arch", arch.Gpusim.Arch.name) ])
     "tune"
@@ -149,22 +155,66 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
   let choices =
     Obs.Trace.with_span ~cat:"autotune" "tune.variants" (fun _ -> variant_choices b)
   in
+  (* The static pre-evaluation gate: every candidate point is verified
+     (errors only - no lint computation) before it can enter the pool, so
+     an illegal recipe is never lowered into a measurement. The closure
+     counts what it saw; the counts land in the result and the journal. *)
+  let gate_checked = ref 0 and gate_rejected = ref 0 in
+  let gate_codes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let gate =
+    if not static_gate then None
+    else
+      Some
+        (fun space p ->
+          incr gate_checked;
+          let diags = Check.Verify.space_point ~lints:false ~arch space p in
+          let bad = Check.Diag.has_errors diags in
+          if bad then begin
+            incr gate_rejected;
+            List.iter
+              (fun (code, n) ->
+                Hashtbl.replace gate_codes code
+                  (n + Option.value ~default:0 (Hashtbl.find_opt gate_codes code)))
+              (Check.Diag.by_code (Check.Diag.errors diags))
+          end;
+          not bad)
+  in
   let pool =
     Obs.Trace.with_span ~cat:"autotune"
       ~attrs:(fun () -> [ ("per_variant", string_of_int pool_per_variant) ])
       "tune.pool"
       (fun span ->
-        let pool = build_pool ~pool_per_variant ?prune rng choices in
+        let pool = build_pool ~pool_per_variant ?prune ?gate rng choices in
         (* a policy can empty the pool of a tiny computation (e.g. a 10x10
            contraction cannot reach 32 threads per block): fall back to the
            full space rather than failing *)
         let pool =
           if Array.length pool = 0 && prune <> None then
+            build_pool ~pool_per_variant ?gate rng choices
+          else pool
+        in
+        (* the decision algorithm only proposes legal points, so an empty
+           gated pool means every candidate is broken - surface whatever the
+           full space yields rather than dying with nothing to search *)
+        let pool =
+          if Array.length pool = 0 && gate <> None then begin
+            Log.warn (fun m ->
+                m "%s: static gate rejected all %d candidate points; tuning ungated"
+                  b.label !gate_checked);
             build_pool ~pool_per_variant rng choices
+          end
           else pool
         in
         Obs.Trace.add_attrs span [ ("pool", string_of_int (Array.length pool)) ];
         pool)
+  in
+  let gate_stats () =
+    {
+      Check.Verify.checked = !gate_checked;
+      rejected = !gate_rejected;
+      by_code =
+        Hashtbl.fold (fun c n acc -> (c, n) :: acc) gate_codes [] |> List.sort compare;
+    }
   in
   Log.info (fun m ->
       m "%s on %s: %d variants, %d-candidate pool (full space %d)" b.label arch.Gpusim.Arch.name
@@ -265,6 +315,9 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
         reps;
         pool_size = search_result.pool_size;
         evaluations = search_result.evaluations;
+        gate_checked = !gate_checked;
+        gate_rejected = !gate_rejected;
+        gate_diags = (gate_stats ()).by_code;
         iterations = search_result.iterations;
         variants = List.map variant_of search_result.history;
         winner = variant_of search_result.best;
@@ -305,6 +358,7 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
     iterations = search_result.iterations;
     importances;
     explain = search_result.explain;
+    gate = gate_stats ();
   }
 
 (* Emit the tuned CUDA for a result. *)

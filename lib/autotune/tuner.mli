@@ -39,6 +39,10 @@ type result = {
           surrogate was fit *)
   explain : candidate Surf.Search.explain option;
       (** surrogate post-mortem: residuals and rejected rivals *)
+  gate : Check.Verify.gate_stats;
+      (** what the static pre-evaluation gate saw (points checked/rejected,
+          error codes); {!Check.Verify.empty_stats} when the gate was off
+          or the result was restored from an artifact *)
 }
 
 val benchmark_of_dsl : label:string -> string -> benchmark
@@ -54,10 +58,13 @@ val variant_choices : benchmark -> variant_choice list
 val total_space : variant_choice list -> int
 val candidate_of : variant_choice -> Tcr.Space.point list -> candidate
 
-(** Build the SURF pool, optionally filtered by a pruning policy. *)
+(** Build the SURF pool, optionally filtered by a pruning policy and a
+    legality [gate] (run after the policy, so pruned points are never
+    gate-checked). *)
 val build_pool :
   ?pool_per_variant:int ->
   ?prune:Tcr.Prune.policy ->
+  ?gate:(Tcr.Space.t -> Tcr.Space.point -> bool) ->
   Util.Rng.t ->
   variant_choice list ->
   candidate array
@@ -69,6 +76,15 @@ type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
     multi-domain scheduler plugs into. Results are bit-identical to the
     sequential default for any order-preserving executor.
 
+    [static_gate] (default [true]) verifies every candidate point with
+    {!Check.Verify.space_point} before it can enter the pool, so illegal
+    recipes are never lowered or measured. The decision algorithm only
+    proposes legal points, so on its own spaces the gate rejects nothing
+    and tuning is bit-identical with the gate on or off; points from
+    artifacts or hand-written recipes are where it bites. If the gate
+    rejects every candidate, tuning falls back to the ungated pool (with a
+    warning) rather than failing.
+
     [journal_key] and [journal_seed] annotate the {!Obs.Journal} entry
     (canonical problem key, RNG seed) when the flight recorder is on; they
     never influence the tune itself. *)
@@ -77,6 +93,7 @@ val tune :
   ?reps:int ->
   ?pool_per_variant:int ->
   ?prune:Tcr.Prune.policy ->
+  ?static_gate:bool ->
   ?batch_map:((unit -> Gpusim.Gpu.report) list -> Gpusim.Gpu.report list) ->
   ?journal_key:string ->
   ?journal_seed:int ->

@@ -1,0 +1,168 @@
+(* Layer 1: TCR well-formedness.
+
+   Proves, per statement, that every index is covered by a positive extent,
+   that every tensor reference is consistent with its declaration (known,
+   same rank, same per-position extent - the precondition for in-bounds
+   linearized offsets), that temporaries are produced before any statement
+   reads them, that the loop order is a genuine permutation of the
+   iteration space, and that no accumulation target is read concurrently
+   with its writes (by its own statement, or by another statement of the
+   same dependence wave per {!Tcr.Depgraph}). *)
+
+open Tcr
+
+let op_site i (op : Ir.op) = Printf.sprintf "op%d(%s)" (i + 1) op.out
+
+let extent_opt (ir : Ir.t) i = List.assoc_opt i ir.extents
+
+(* BAR010: indices covered by positive extents. *)
+let check_extents ir i (op : Ir.op) =
+  let site = op_site i op in
+  List.filter_map
+    (fun idx ->
+      match extent_opt ir idx with
+      | None ->
+        Some
+          (Diag.error Diag.Tcr ~code:"BAR010" ~site "index %s has no declared extent"
+             idx)
+      | Some e when e < 1 ->
+        Some
+          (Diag.error Diag.Tcr ~code:"BAR010" ~site
+             "index %s has non-positive extent %d" idx e)
+      | Some _ -> None)
+    (Ir.iteration_indices op)
+
+(* BAR011/BAR012/BAR013: every reference (output and factors) against the
+   variable declarations. Extents are compared per position: a reference
+   whose slot extent differs from the declared dimension's extent indexes
+   outside the allocated array. *)
+let check_refs ir i (op : Ir.op) =
+  let site = op_site i op in
+  let refs = (op.out, op.out_indices) :: op.factors in
+  List.concat_map
+    (fun (name, dims) ->
+      match List.find_opt (fun (v : Ir.var) -> v.name = name) ir.Ir.vars with
+      | None ->
+        [ Diag.error Diag.Tcr ~code:"BAR011" ~site "reference to undeclared tensor %s" name ]
+      | Some decl ->
+        if List.length decl.dims <> List.length dims then
+          [
+            Diag.error Diag.Tcr ~code:"BAR012" ~site
+              "%s referenced with rank %d but declared with rank %d" name
+              (List.length dims) (List.length decl.dims);
+          ]
+        else
+          List.concat
+            (List.mapi
+               (fun pos (ref_idx, decl_idx) ->
+                 match (extent_opt ir ref_idx, extent_opt ir decl_idx) with
+                 | Some re, Some de when re <> de ->
+                   [
+                     Diag.error Diag.Tcr ~code:"BAR013" ~site
+                       "%s dimension %d: reference index %s has extent %d but the \
+                        declared dimension %s has extent %d"
+                       name pos ref_idx re decl_idx de;
+                   ]
+                 | _ -> [])
+               (List.combine dims decl.dims)))
+    refs
+
+(* BAR015: the loop order must be a permutation of the iteration indices. *)
+let check_loop_order i (op : Ir.op) =
+  if List.sort compare op.loop_order = Ir.iteration_indices op then []
+  else
+    [
+      Diag.error Diag.Tcr ~code:"BAR015" ~site:(op_site i op)
+        "loop order (%s) is not a permutation of the iteration indices (%s)"
+        (String.concat "," op.loop_order)
+        (String.concat "," (Ir.iteration_indices op));
+    ]
+
+(* BAR014/BAR016: producer-before-consumer order and outputs produced. *)
+let check_def_use (ir : Ir.t) =
+  let defined = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Ir.var) -> if v.role = Ir.Input then Hashtbl.replace defined v.name ())
+    ir.vars;
+  let ds = ref [] in
+  List.iteri
+    (fun i (op : Ir.op) ->
+      List.iter
+        (fun (name, _) ->
+          if not (Hashtbl.mem defined name) then
+            ds :=
+              Diag.error Diag.Tcr ~code:"BAR014" ~site:(op_site i op)
+                "%s is read before any statement produces it" name
+              :: !ds)
+        op.factors;
+      Hashtbl.replace defined op.out ())
+    ir.ops;
+  List.iter
+    (fun (v : Ir.var) ->
+      if v.role = Ir.Output && not (Hashtbl.mem defined v.name) then
+        ds :=
+          Diag.error Diag.Tcr ~code:"BAR016" ~site:v.name
+            "output %s is never produced by any statement" v.name
+          :: !ds)
+    ir.vars;
+  List.rev !ds
+
+(* BAR017: an accumulation target must never be read in the same wave that
+   writes it. The intra-statement case (out among the factors) is a data
+   race inside one kernel: threads read elements other threads are
+   accumulating. The cross-statement case checks each {!Depgraph} wave -
+   statements a streams-capable device may launch concurrently - for a
+   read or a second write of a tensor some wave member writes. *)
+let check_waves (ir : Ir.t) =
+  let self =
+    List.concat
+      (List.mapi
+         (fun i (op : Ir.op) ->
+           if List.mem_assoc op.out op.factors then
+             [
+               Diag.error Diag.Tcr ~code:"BAR017" ~site:(op_site i op)
+                 "accumulation target %s is read by its own statement (intra-kernel \
+                  reduction race)"
+                 op.out;
+             ]
+           else [])
+         ir.ops)
+  in
+  let cross =
+    let graph = Depgraph.build ir in
+    List.concat_map
+      (fun wave ->
+        let rec pairs = function
+          | [] -> []
+          | (a : Ir.op) :: rest ->
+            List.concat_map
+              (fun (b : Ir.op) ->
+                let hazard =
+                  List.mem_assoc a.out b.factors
+                  || List.mem_assoc b.out a.factors
+                  || a.out = b.out
+                in
+                if hazard then
+                  [
+                    Diag.error Diag.Tcr ~code:"BAR017" ~site:a.out
+                      "statements producing %s and %s share a dependence wave but \
+                       access the accumulation target concurrently"
+                      a.out b.out;
+                  ]
+                else [])
+              rest
+            @ pairs rest
+        in
+        pairs wave)
+      (Depgraph.waves graph)
+  in
+  self @ cross
+
+let check (ir : Ir.t) =
+  let per_op =
+    List.concat
+      (List.mapi
+         (fun i op -> check_extents ir i op @ check_refs ir i op @ check_loop_order i op)
+         ir.ops)
+  in
+  per_op @ check_def_use ir @ check_waves ir

@@ -1,0 +1,11 @@
+(** Layer 1 of the static verifier: TCR well-formedness.
+
+    Checks every statement of a {!Tcr.Ir.t}: indices covered by positive
+    extents (BAR010), references consistent with declarations - known
+    tensor (BAR011), matching rank (BAR012), matching per-position extents
+    (BAR013) - temporaries produced before use (BAR014), loop orders that
+    permute the iteration space (BAR015), outputs actually produced
+    (BAR016), and no accumulation target read in the same dependence wave
+    that writes it (BAR017). *)
+
+val check : Tcr.Ir.t -> Diag.t list

@@ -1,0 +1,23 @@
+(** Layer 3 of the static verifier: resource analysis of an emitted kernel
+    against a target architecture.
+
+    Errors: a maximum linearized offset reaching past an array's allocated
+    elements - the symbolic out-of-bounds proof (BAR030), register demand
+    overflowing one SM's register file (BAR031), a block over the device's
+    thread limit (BAR032), grid dimensions over the device's launch limits
+    (BAR033), non-positive launch dimensions (BAR034). Lints (warnings):
+    uncoalesced references at or beyond {!uncoalesced_threshold}
+    transactions per warp (BAR040), occupancy below
+    {!low_occupancy_threshold} (BAR041), a block smaller than one warp
+    (BAR042), a grid that leaves SMs idle (BAR043). *)
+
+val uncoalesced_threshold : float
+val low_occupancy_threshold : float
+
+(** Largest value the kernel's own grid/block/loop structure drives index
+    [i] through (1 when the kernel never drives it). *)
+val index_range : Codegen.Kernel.t -> string -> int
+
+(** Errors always; [~lints:false] skips the warning-level analyses (the
+    tuner's gate only needs the errors). *)
+val check : ?lints:bool -> Gpusim.Arch.t -> Codegen.Kernel.t -> Diag.t list

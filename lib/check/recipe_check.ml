@@ -1,0 +1,140 @@
+(* Layer 2: legality of one search point (a "recipe") for one TCR
+   statement, checked before any kernel is lowered or measured.
+
+   The paper's decision algorithm only proposes legal points, so the
+   default enumerated space verifies clean - but points also arrive from
+   saved artifacts, journals and hand-written recipes, and a single
+   reduction index mapped to a thread or block dimension silently computes
+   garbage: every thread accumulates a partial sum into the same output
+   element. That is the race this layer refuses. *)
+
+open Tcr
+
+let site_of (s : Space.t) = Printf.sprintf "op%d(%s)" (s.op_index + 1) s.op.out
+
+let mapped_slots (p : Space.point) =
+  let d = p.decomp in
+  [ ("tx", Some d.tx); ("ty", d.ty); ("bx", Some d.bx); ("by", d.by) ]
+  |> List.filter_map (fun (slot, i) -> Option.map (fun i -> (slot, i)) i)
+
+(* BAR020/BAR021/BAR022: the decomposition itself. *)
+let check_decomposition (s : Space.t) (p : Space.point) =
+  let site = site_of s in
+  let op = s.op in
+  let reductions = Ir.reduction_indices op in
+  let slots = mapped_slots p in
+  let unknown =
+    List.filter_map
+      (fun (slot, i) ->
+        if List.mem i (Ir.iteration_indices op) then None
+        else
+          Some
+            (Diag.error Diag.Recipe ~code:"BAR022" ~site
+               "%s is mapped to index %s, which the statement does not iterate" slot i))
+      slots
+  in
+  let races =
+    List.filter_map
+      (fun (slot, i) ->
+        if List.mem i reductions then
+          Some
+            (Diag.error Diag.Recipe ~code:"BAR020" ~site
+               "reduction index %s is mapped to %s: concurrent threads would race on \
+                the accumulation"
+               i slot)
+        else None)
+      slots
+  in
+  let duplicates =
+    let rec dups seen = function
+      | [] -> []
+      | (slot, i) :: rest ->
+        (match List.assoc_opt i seen with
+        | Some prev ->
+          [
+            Diag.error Diag.Recipe ~code:"BAR021" ~site
+              "index %s is assigned to both %s and %s" i prev slot;
+          ]
+        | None -> [])
+        @ dups ((i, slot) :: seen) rest
+    in
+    dups [] slots
+  in
+  unknown @ races @ duplicates
+
+(* BAR023: the block must fit the space's thread budget. *)
+let check_threads (s : Space.t) (p : Space.point) =
+  let d = p.decomp in
+  match
+    ( List.assoc_opt d.tx s.ir.Ir.extents,
+      match d.ty with
+      | None -> Some 1
+      | Some ty -> List.assoc_opt ty s.ir.Ir.extents )
+  with
+  | Some ex, Some ey when ex * ey > s.max_threads_per_block ->
+    [
+      Diag.error Diag.Recipe ~code:"BAR023" ~site:(site_of s)
+        "block of %dx%d = %d threads exceeds the %d-thread limit" ex ey (ex * ey)
+        s.max_threads_per_block;
+    ]
+  | _ -> []  (* missing extents are layer-1 BAR010 findings *)
+
+(* BAR024: a non-empty red_order must permute exactly the reduction set. *)
+let check_red_order (s : Space.t) (p : Space.point) =
+  match p.red_order with
+  | [] -> []
+  | order ->
+    let reductions = Ir.reduction_indices s.op in
+    if List.sort compare order = List.sort compare reductions then []
+    else
+      [
+        Diag.error Diag.Recipe ~code:"BAR024" ~site:(site_of s)
+          "reduction order (%s) is not a permutation of the reduction loops (%s)"
+          (String.concat "," order)
+          (String.concat "," reductions);
+      ]
+
+(* BAR025/BAR026/BAR027: unroll factors against their loops. *)
+let check_unrolls (s : Space.t) (p : Space.point) =
+  let site = site_of s in
+  let mapped = List.map snd (mapped_slots p) in
+  List.concat_map
+    (fun (loop, u) ->
+      if not (List.mem loop (Ir.iteration_indices s.op)) then
+        [
+          Diag.error Diag.Recipe ~code:"BAR022" ~site
+            "unroll names index %s, which the statement does not iterate" loop;
+        ]
+      else if u < 1 then
+        [
+          Diag.error Diag.Recipe ~code:"BAR025" ~site
+            "unroll factor %d of loop %s is not positive" u loop;
+        ]
+      else
+        match List.assoc_opt loop s.ir.Ir.extents with
+        | None -> []  (* layer-1 BAR010 *)
+        | Some e ->
+          if u > e then
+            [
+              Diag.error Diag.Recipe ~code:"BAR025" ~site
+                "unroll factor %d exceeds the extent %d of loop %s" u e loop;
+            ]
+          else if List.mem loop mapped then
+            [
+              Diag.warning Diag.Recipe ~code:"BAR026" ~site
+                "loop %s is mapped to the hardware decomposition; its unroll factor \
+                 is ignored"
+                loop;
+            ]
+          else if u > 1 && e mod u <> 0 then
+            [
+              Diag.info Diag.Recipe ~code:"BAR027" ~site
+                "unroll factor %d does not divide the extent %d of loop %s (epilogue \
+                 iterations remain)"
+                u e loop;
+            ]
+          else [])
+    p.unrolls
+
+let check (s : Space.t) (p : Space.point) =
+  check_decomposition s p @ check_threads s p @ check_red_order s p @ check_unrolls s p

@@ -1,0 +1,13 @@
+(** Layer 2 of the static verifier: legality of one search point for one
+    TCR statement, before any kernel is lowered or measured.
+
+    Errors: a reduction index mapped to a thread/block dimension - a
+    reduction race (BAR020), the same index assigned to two decomposition
+    slots (BAR021), a decomposition or unroll naming an index the
+    statement does not iterate (BAR022), a block over the space's thread
+    budget (BAR023), a reduction order that is not a permutation of the
+    reduction loops (BAR024), an unroll factor that is non-positive or
+    exceeds its loop's extent (BAR025). Lints: unrolling a mapped loop
+    (BAR026, warning), non-dividing unroll factors (BAR027, info). *)
+
+val check : Tcr.Space.t -> Tcr.Space.point -> Diag.t list

@@ -61,7 +61,13 @@ let run_kernel (k : Kernel.t) (env : env) =
   let slot name =
     match Array.find_opt (fun (n, _) -> n = name) slot_of with
     | Some (_, s) -> s
-    | None -> assert false
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Exec: index %s has no slot in the kernel's layout (decomposition \
+            indices followed by serial loops); every referenced index must be \
+            driven by one of them"
+           name)
   in
   let vals = Array.make (Array.length slot_of) 0 in
   let out_ref = compile_ref k ~slot_of env (k.op.out, k.op.out_indices) in

@@ -151,6 +151,8 @@ module Cse = Tcr_cse
 module Driver = Codegen.Driver
 module Einsum_notation = Octopi.Einsum_notation
 module Rng = Util.Rng
+module Diag = Check.Diag
+module Verify = Check.Verify
 module Canonical = Service.Canonical
 module Tuning_cache = Service.Tuning_cache
 module Metrics = Service.Metrics

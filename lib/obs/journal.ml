@@ -61,6 +61,9 @@ type entry = {
   reps : int;
   pool_size : int;
   evaluations : int;
+  gate_checked : int;  (* points screened by the static verifier's gate *)
+  gate_rejected : int;  (* points the gate kept out of the pool *)
+  gate_diags : (string * int) list;  (* gate error occurrences per BARxxx code *)
   iterations : Search_log.iteration list;
   variants : variant list;  (* every evaluated variant, evaluation order *)
   winner : variant;
@@ -134,6 +137,12 @@ let to_json e =
        ("reps", Json.int e.reps);
        ("pool_size", Json.int e.pool_size);
        ("evaluations", Json.int e.evaluations);
+       ("gate_checked", Json.int e.gate_checked);
+       ("gate_rejected", Json.int e.gate_rejected);
+       ( "gate_diags",
+         Json.Arr
+           (List.map (fun (c, n) -> Json.Arr [ Json.Str c; Json.int n ]) e.gate_diags)
+       );
        ("iterations", Json.Arr (List.map iteration_to_json e.iterations));
        ("variants", Json.Arr (List.map variant_to_json e.variants));
        ("winner", variant_to_json e.winner);
@@ -222,6 +231,20 @@ let importance_of_json = function
     | None -> fail "importance weight is not a number")
   | _ -> fail "importance is not a [name, weight] pair"
 
+(* Pre-gate entries omit the gate fields; decode them to zero/empty. *)
+let gate_count name j =
+  match opt_num name j with Some n -> int_of_float n | None -> 0
+
+let gate_diags_of_json j =
+  match Option.bind (Json.member "gate_diags" j) Json.get_arr with
+  | None -> []
+  | Some l ->
+    List.map
+      (fun pair ->
+        let code, n = importance_of_json pair in
+        (code, int_of_float n))
+      l
+
 let of_json j =
   try
     let v = int_field "schema" j in
@@ -241,6 +264,9 @@ let of_json j =
         reps = int_field "reps" j;
         pool_size = int_field "pool_size" j;
         evaluations = int_field "evaluations" j;
+        gate_checked = gate_count "gate_checked" j;
+        gate_rejected = gate_count "gate_rejected" j;
+        gate_diags = gate_diags_of_json j;
         iterations = List.map iteration_of_json (arr "iterations" j);
         variants = List.map variant_of_json (arr "variants" j);
         winner =
@@ -413,6 +439,17 @@ let render_explain e =
   Buffer.add_string b
     (Printf.sprintf "  evaluated %d of %d configurations, best %.4e s (%s)\n\n"
        e.evaluations e.pool_size e.winner.measured e.winner.label);
+  if e.gate_checked > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "static gate: %d points checked, %d rejected%s\n\n"
+         e.gate_checked e.gate_rejected
+         (match e.gate_diags with
+         | [] -> ""
+         | ds ->
+           " ("
+           ^ String.concat ", "
+               (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) ds)
+           ^ ")"));
   Buffer.add_string b "winner lineage\n";
   render_lineage b "  " e.winner.lineage;
   Buffer.add_string b "\nparameter importances (split gain)\n";

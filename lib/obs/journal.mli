@@ -58,6 +58,12 @@ type entry = {
   reps : int;
   pool_size : int;
   evaluations : int;
+  gate_checked : int;
+      (** points screened by the static verifier's pre-evaluation gate *)
+  gate_rejected : int;  (** points the gate kept out of the pool *)
+  gate_diags : (string * int) list;
+      (** gate error occurrences per BARxxx code; entries journaled before
+          the gate existed decode as [0]/[0]/[[]] *)
   iterations : Search_log.iteration list;
   variants : variant list;  (** every evaluated variant, evaluation order *)
   winner : variant;

@@ -78,4 +78,8 @@ let contract ?output ?names spec (tensors : Tensor.Dense.t list) =
     in
     ignore env;
     Tensor.Einsum.contract ~output_indices:c.output_indices operands
-  | _ -> assert false
+  | cs, stmts ->
+    err
+      "einsum %S produced %d contractions from %d statements; a parsed spec \
+       always holds exactly one of each"
+      spec (List.length cs) (List.length stmts)

@@ -103,11 +103,18 @@ let tune_canonical t ~inner_parallel (canon : Canonical.t) =
      journaling is on, so every cold tune the service performs - single
      request, deduplicated batch, or scheduler-parallel - is journaled
      under its canonical key *)
-  Autotune.Tuner.tune
-    ~strategy:(Autotune.Tuner.Surf_search cfg)
-    ~reps:t.cfg.reps ~pool_per_variant:t.cfg.pool_per_variant ?batch_map
-    ~journal_key:canon.Canonical.key ~journal_seed:t.cfg.seed
-    ~rng:(Util.Rng.create t.cfg.seed) ~arch:t.cfg.arch (Canonical.benchmark canon)
+  let r =
+    Autotune.Tuner.tune
+      ~strategy:(Autotune.Tuner.Surf_search cfg)
+      ~reps:t.cfg.reps ~pool_per_variant:t.cfg.pool_per_variant ?batch_map
+      ~journal_key:canon.Canonical.key ~journal_seed:t.cfg.seed
+      ~rng:(Util.Rng.create t.cfg.seed) ~arch:t.cfg.arch (Canonical.benchmark canon)
+  in
+  (* static-gate counters: how many candidate points the verifier screened
+     before measurement, and how many it kept out of the pool *)
+  Metrics.incr ~by:r.gate.checked t.metrics "check.points";
+  Metrics.incr ~by:r.gate.rejected t.metrics "check.rejected";
+  r
 
 (* Rebuild a result from a cached artifact: parse the canonical program and
    re-measure only the winning candidate. *)
@@ -243,7 +250,14 @@ let batch t (requests : request list) =
     canons
 
 let tune t (req : request) =
-  match batch t [ req ] with [ r ] -> r | _ -> assert false
+  match batch t [ req ] with
+  | [ r ] -> r
+  | rs ->
+    invalid_arg
+      (Printf.sprintf
+         "Engine.tune: batch answered a single request with %d responses; the \
+          batch protocol must respond to each request exactly once, in order"
+         (List.length rs))
 
 let tune_dsl ?(label = "tc") t src = tune t { label; src }
 

@@ -53,11 +53,19 @@ let map t f xs =
     let helpers = List.init (min (t.domains - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join helpers;
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok r) -> r
-         | Some (Error e) -> raise e
-         | None -> assert false)
+    Array.to_list
+      (Array.mapi
+         (fun i -> function
+           | Some (Ok r) -> r
+           | Some (Error e) -> raise e
+           | None ->
+             invalid_arg
+               (Printf.sprintf
+                  "Scheduler.map: result slot %d of %d was never written; every \
+                   index below the cursor must be claimed by exactly one joined \
+                   domain"
+                  i n))
+         results)
 
 (* Run measurement thunks: the shape {!Autotune.Tuner.tune}'s [batch_map]
    expects. *)

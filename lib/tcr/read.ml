@@ -53,7 +53,10 @@ let parse_op line =
     let reductions = List.filter (fun i -> not (List.mem i out_indices)) all in
     { Ir.out; out_indices; factors; loop_order = out_indices @ reductions }
 
-let program src =
+(* [~validate:false] skips the final {!Ir.validate}, so deliberately broken
+   programs can be parsed and handed to the static verifier for diagnosis
+   instead of dying with the validator's first raise. *)
+let program ?(validate = true) src =
   match split_lines src with
   | [] -> err "empty TCR program"
   | label :: rest ->
@@ -112,5 +115,5 @@ let program src =
         !vars
     in
     let t = { Ir.label; extents = List.rev !extents; vars; ops } in
-    Ir.validate t;
+    if validate then Ir.validate t;
     t

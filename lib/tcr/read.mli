@@ -4,4 +4,7 @@
 
 exception Error of string
 
-val program : string -> Ir.t
+(** [~validate:false] skips the final {!Ir.validate}, so a deliberately
+    broken program can be parsed and handed to the static verifier for
+    diagnosis instead of raising at the first violation. *)
+val program : ?validate:bool -> string -> Ir.t

@@ -60,7 +60,12 @@ let contract ~output_indices operands =
      (output ++ sum) index vector so the inner loop is just array reads. *)
   let position name =
     let rec find i = function
-      | [] -> assert false
+      | [] ->
+        invalid_arg
+          (Printf.sprintf
+             "Einsum.contract: operand index %s is in neither the output nor \
+              the summation set; every operand index must appear in one"
+             name)
       | x :: rest -> if x = name then i else find (i + 1) rest
     in
     find 0 (output_indices @ sum_indices)

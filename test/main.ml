@@ -29,4 +29,5 @@ let () =
       ("service", Test_service.suite);
       ("perfobs", Test_perfobs.suite);
       ("journal", Test_journal.suite);
+      ("check", Test_check.suite);
     ]

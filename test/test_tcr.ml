@@ -94,6 +94,31 @@ let test_stride () =
   check_int "outer" 600 (Tcr.Access.stride ~extents ~ref_indices:[ "i"; "j"; "k" ] "i");
   check_int "absent" 0 (Tcr.Access.stride ~extents ~ref_indices:[ "i"; "j" ] "k")
 
+let test_positions_edges () =
+  Alcotest.(check (list int)) "subset in order" [ 0; 2 ]
+    (Tcr.Access.positions [ "i"; "j"; "k" ] [ "i"; "k" ]);
+  Alcotest.(check (list int)) "empty reference" []
+    (Tcr.Access.positions [ "i"; "j" ] []);
+  Alcotest.(check (list int)) "repeated index" [ 1; 1 ]
+    (Tcr.Access.positions [ "i"; "j" ] [ "j"; "j" ]);
+  Alcotest.check_raises "index absent from loop order"
+    (Invalid_argument "Access.positions: x not in loop order") (fun () ->
+      ignore (Tcr.Access.positions [ "i"; "j" ] [ "i"; "x" ]))
+
+let test_stride_edges () =
+  (* an index absent from the reference is stride 0 even if extents are
+     unknown: the loop never moves the pointer *)
+  check_int "absent index ignores extents" 0
+    (Tcr.Access.stride ~extents:[] ~ref_indices:[ "i"; "j" ] "k");
+  (* a zero extent inside the tail collapses the stride to 0 *)
+  check_int "zero-extent tail" 0
+    (Tcr.Access.stride ~extents:[ ("j", 20); ("k", 0) ] ~ref_indices:[ "i"; "j"; "k" ] "i");
+  (* trailing dimensions with no recorded extent make the stride
+     uncomputable: pinned as Invalid_argument, not a silent guess *)
+  Alcotest.check_raises "missing extent in tail"
+    (Invalid_argument "Access.stride: no extent for j") (fun () ->
+      ignore (Tcr.Access.stride ~extents:[ ("i", 10) ] ~ref_indices:[ "i"; "j" ] "i"))
+
 let test_unit_stride_indices () =
   let ir = paper_ir () in
   let op1 = List.hd ir.ops in
@@ -220,6 +245,8 @@ let suite =
     ("ir validate missing extent", `Quick, test_ir_validate_rejects_unknown_extent);
     ("access contiguous", `Quick, test_contiguous);
     ("access stride", `Quick, test_stride);
+    ("access positions edge cases", `Quick, test_positions_edges);
+    ("access stride edge cases", `Quick, test_stride_edges);
     ("access unit-stride indices", `Quick, test_unit_stride_indices);
     ("access classify", `Quick, test_classify);
     ("decision tx rule", `Quick, test_decision_tx_parallel_unit_stride);
