@@ -8,7 +8,7 @@
 
    Experiments (none = all, in the order below):
      claims space table2 table3 table4 figure3 surf-vs-brute ablation
-     modelcheck motivation sweep service bechamel
+     modelcheck motivation sweep service netopt bechamel
 
    Flags compose with any experiment selection; unknown --flags are an
    error, not a silently ignored subcommand:
@@ -42,7 +42,8 @@ let default_options =
 
 let experiment_names =
   [ "claims"; "space"; "table2"; "table3"; "table4"; "figure3"; "surf-vs-brute";
-    "ablation"; "modelcheck"; "motivation"; "sweep"; "service"; "bechamel" ]
+    "ablation"; "modelcheck"; "motivation"; "sweep"; "service"; "netopt";
+    "bechamel" ]
 
 let usage () =
   Printf.eprintf
@@ -152,6 +153,38 @@ let run_motivation () = table "motivation" Tables.motivation
 let run_sweep () = table "sweep" Tables.sweep
 let run_service () = timed "service" (fun () -> Service_bench.run ())
 
+(* Contraction-order optimizer: greedy baseline vs TreeSA on fixed-seed
+   networks the paper's single-equation front end never handled. Costs are
+   log2, so a delta of 1.0 is a 2x change in the linear quantity. *)
+let netopt_table () =
+  let score = { Netopt.Tree.default_score with sc_target = 10.0 } in
+  let row name net meth tree =
+    let c = Netopt.Tree.cost net tree in
+    [ name; meth; Util.Table.cell_f c.tc; Util.Table.cell_f c.sc;
+      Util.Table.cell_f c.rw; Util.Table.cell_f (Netopt.Tree.score score c) ]
+  in
+  let cases =
+    [
+      ("line-20", Netopt.Gen.line ~n:20 (Util.Rng.create 2));
+      ("ring-16", Netopt.Gen.ring ~n:16 (Util.Rng.create 1));
+      ("power-20", Netopt.Gen.power_law ~n:20 (Util.Rng.create 2));
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, net) ->
+        let greedy = Netopt.Greedy.optimize net in
+        let treesa =
+          Netopt.Treesa.optimize ~score ~rng:(Util.Rng.create 7) net
+        in
+        [ row name net "greedy" greedy; row name net "treesa" treesa ])
+      cases
+  in
+  Util.Table.create ~title:"Contraction-order optimizer (log2 costs)"
+    ([ "network"; "method"; "tc"; "sc"; "rw"; "score" ] :: rows)
+
+let run_netopt () = table "netopt" netopt_table
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure, each running a
    reduced-size regeneration of that experiment's pipeline so that several
@@ -202,6 +235,16 @@ let bench_surf_brute () =
   let r = Surf.Search.surf ~config:small_cfg (Util.Rng.create 2) ~pool ~encode ~eval in
   assert (r.evaluations <= 20)
 
+let bench_netopt () =
+  let net = Netopt.Gen.line ~n:12 (Util.Rng.create 2) in
+  let cfg = { Netopt.Treesa.default_config with sa_iters = 400 } in
+  let greedy = Netopt.Greedy.optimize net in
+  let treesa = Netopt.Treesa.optimize ~config:cfg ~rng:(Util.Rng.create 7) net in
+  let score = Netopt.Tree.default_score in
+  assert (
+    Netopt.Tree.score score (Netopt.Tree.cost net treesa)
+    <= Netopt.Tree.score score (Netopt.Tree.cost net greedy))
+
 let bechamel_tests =
   let open Bechamel in
   [
@@ -212,6 +255,7 @@ let bechamel_tests =
     Test.make ~name:"table4:nwchem-omp-vs-tuned" (Staged.stage bench_table4);
     Test.make ~name:"figure3:nwchem-vs-naive-acc" (Staged.stage bench_figure3);
     Test.make ~name:"surf-vs-brute:model-search" (Staged.stage bench_surf_brute);
+    Test.make ~name:"netopt:treesa-line12" (Staged.stage bench_netopt);
   ]
 
 let clock_label = "monotonic-clock"
@@ -280,6 +324,7 @@ let runners =
     ("motivation", run_motivation);
     ("sweep", run_sweep);
     ("service", run_service);
+    ("netopt", run_netopt);
     ("bechamel", run_bechamel);
   ]
 

@@ -13,6 +13,7 @@
      trace     tune with tracing on; write a Chrome/Perfetto trace-event JSON
      report    tune and print convergence + Prometheus-style metrics reports
      profile   tune with the kernel roofline profiler on and print the report
+     net       optimize an N-tensor network's contraction order (greedy vs TreeSA)
      archs     list the simulated GPU architectures
      history   list the runs recorded in a tuning journal
      explain   full report for one journaled run (lineage, importances, rivals)
@@ -719,6 +720,22 @@ let cmd_check =
              validation, so deliberately broken programs are diagnosed rather \
              than rejected at parse time.")
   in
+  let net_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "net" ] ~docv:"FILE"
+          ~doc:
+            "Verify a tensor-network spec (network-stage BAR05x diagnostics: \
+             dangling or mismatched indices, unknown output indices) plus the \
+             sc_target and step-rank findings of its greedy contraction tree.")
+  in
+  let sc_target_arg =
+    Arg.(
+      value & opt float Netopt.Tree.default_score.sc_target
+      & info [ "sc-target" ] ~docv:"L"
+          ~doc:"log2 intermediate-size cap for --net tree findings.")
+  in
   let json_flag =
     Arg.(
       value & flag
@@ -739,15 +756,28 @@ let cmd_check =
       & info [ "no-lints" ]
           ~doc:"Errors only: skip the warning-level kernel lints.")
   in
-  let run () file expr einsum tcr arch json max_points no_lints =
+  let run () file expr einsum tcr net_file sc_target arch json max_points no_lints =
     let lints = not no_lints in
     let report =
-      match tcr with
-      | Some path ->
+      match (tcr, net_file) with
+      | Some _, Some _ -> failwith "give at most one of --tcr, --net"
+      | Some path, None ->
         let text = Util.Fs.read_file path in
         let ir = Tcr.Read.program ~validate:false text in
         { Check.Verify.empty_report with diags = Check.Verify.ir ir }
-      | None ->
+      | None, Some path ->
+        (* network-stage diagnostics; tree findings only when the network
+           itself is sound enough to optimize *)
+        let net = Netopt.Network.of_file path in
+        let diags = Netopt.Network.validate net in
+        let diags =
+          if Check.Diag.has_errors diags then diags
+          else
+            diags
+            @ Netopt.Tree.check ~sc_target net (Netopt.Greedy.optimize net)
+        in
+        { Check.Verify.empty_report with diags }
+      | None, None ->
         let src = read_program file expr einsum in
         let b = Barracuda.parse src in
         let labeled =
@@ -786,8 +816,178 @@ let cmd_check =
           (bounds proof, registers, launch limits) for every variant. Exits \
           nonzero when any error-severity diagnostic is found.")
     Term.(
-      const run $ setup_logs $ file_arg $ expr_arg $ einsum_arg $ tcr_arg $ arch_arg
-      $ json_flag $ max_points_arg $ no_lints_flag)
+      const run $ setup_logs $ file_arg $ expr_arg $ einsum_arg $ tcr_arg $ net_arg
+      $ sc_target_arg $ arch_arg $ json_flag $ max_points_arg $ no_lints_flag)
+
+(* ---------------- net (tensor-network contraction orders) ----------- *)
+
+let cmd_net =
+  let file_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Network spec file (tensor/extent/output directives).")
+  in
+  let einsum_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "einsum" ] ~docv:"SPEC"
+          ~doc:"N-tensor einsum spec, e.g. 'ab,bc,cd,de->ae'.")
+  in
+  let gen_arg =
+    let shape = Arg.enum [ ("line", `Line); ("ring", `Ring); ("power", `Power) ] in
+    Arg.(
+      value
+      & opt (some shape) None
+      & info [ "gen" ] ~docv:"SHAPE"
+          ~doc:
+            "Generate a random network instead of reading one: line (open \
+             chain), ring (closed chain) or power (preferential-attachment \
+             graph).")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "n" ] ~docv:"N" ~doc:"Generated network size (default 20).")
+  in
+  let gen_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "gen-seed" ] ~docv:"N"
+          ~doc:"Seed for --gen network generation (default 1).")
+  in
+  let sa_iters_arg =
+    Arg.(
+      value & opt int Netopt.Treesa.default_config.sa_iters
+      & info [ "sa-iters" ] ~docv:"N" ~doc:"TreeSA annealing proposals.")
+  in
+  let weight name doc default =
+    Arg.(value & opt float default & info [ name ] ~docv:"W" ~doc)
+  in
+  let tc_arg = weight "tc-weight" "Score weight on log2 time complexity." 1.0 in
+  let sc_arg = weight "sc-weight" "Score weight on the sc_target overflow." 1.0 in
+  let rw_arg = weight "rw-weight" "Score weight on log2 read/write volume." 1.0 in
+  let sc_target_arg =
+    Arg.(
+      value & opt float Netopt.Tree.default_score.sc_target
+      & info [ "sc-target" ] ~docv:"L"
+          ~doc:
+            "log2 elements an intermediate may occupy (the GPU-memory cap); \
+             exceeding it is hard-penalized.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let emit_dsl_flag =
+    Arg.(
+      value & flag
+      & info [ "emit-dsl" ]
+          ~doc:"Print the TreeSA tree lowered to Figure 2(a) DSL text.")
+  in
+  let tune_flag =
+    Arg.(
+      value & flag
+      & info [ "tune" ]
+          ~doc:
+            "Lower the TreeSA tree and autotune the resulting program through \
+             the full variants/TCR/SURF/codegen pipeline.")
+  in
+  let tree_json name (c : Netopt.Tree.cost) score order =
+    ( name,
+      Obs.Json.Obj
+        [
+          ("order", Obs.Json.Str order);
+          ("tc", Obs.Json.Num c.tc);
+          ("sc", Obs.Json.Num c.sc);
+          ("rw", Obs.Json.Num c.rw);
+          ("score", Obs.Json.Num score);
+        ] )
+  in
+  let run () file einsum gen n gen_seed seed sa_iters tc_w sc_w rw_w sc_target
+      json emit_dsl do_tune arch evals journal_out =
+    let net =
+      match (file, einsum, gen) with
+      | Some path, None, None -> Netopt.Network.of_file path
+      | None, Some spec, None -> Netopt.Network.of_einsum spec
+      | None, None, Some shape -> (
+        let rng = Util.Rng.create gen_seed in
+        match shape with
+        | `Line -> Netopt.Gen.line ~n rng
+        | `Ring -> Netopt.Gen.ring ~n rng
+        | `Power -> Netopt.Gen.power_law ~n rng)
+      | None, None, None ->
+        failwith "no input: give a network spec file, --einsum or --gen"
+      | _ -> failwith "give exactly one of: a file, --einsum, --gen"
+    in
+    let diags = Netopt.Network.validate net in
+    if diags <> [] then prerr_string (Check.Diag.render_report diags);
+    if Check.Diag.has_errors diags then exit 1;
+    let score =
+      { Netopt.Tree.tc_weight = tc_w; sc_weight = sc_w; rw_weight = rw_w; sc_target }
+    in
+    let greedy = Netopt.Greedy.optimize net in
+    let config = { Netopt.Treesa.default_config with sa_iters } in
+    let treesa =
+      Netopt.Treesa.optimize ~config ~score ~rng:(Util.Rng.create seed) net
+    in
+    let cg = Netopt.Tree.cost net greedy and ct = Netopt.Tree.cost net treesa in
+    let sg = Netopt.Tree.score score cg and st = Netopt.Tree.score score ct in
+    let og = Netopt.Tree.to_string net greedy
+    and ot = Netopt.Tree.to_string net treesa in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("tensors", Obs.Json.int (List.length net.tensors));
+                ("indices", Obs.Json.int (List.length (Netopt.Network.all_indices net)));
+                ("output", Obs.Json.Arr (List.map (fun i -> Obs.Json.Str i) net.output));
+                ("sc_target", Obs.Json.Num sc_target);
+                tree_json "greedy" cg sg og;
+                tree_json "treesa" ct st ot;
+              ]))
+    else begin
+      Printf.printf "network: %d tensors, %d indices, output [%s]\n"
+        (List.length net.tensors)
+        (List.length (Netopt.Network.all_indices net))
+        (String.concat " " net.output);
+      Printf.printf "%-8s %8s %8s %8s %10s\n" "method" "tc" "sc" "rw" "score";
+      Printf.printf "%-8s %8.2f %8.2f %8.2f %10.2f\n" "greedy" cg.tc cg.sc cg.rw sg;
+      Printf.printf "%-8s %8.2f %8.2f %8.2f %10.2f\n" "treesa" ct.tc ct.sc ct.rw st;
+      Printf.printf "treesa order: %s\n" ot
+    end;
+    if emit_dsl then print_string (Netopt.Lower.to_dsl net treesa);
+    if do_tune then begin
+      let dsl = Netopt.Lower.to_dsl net treesa in
+      let b = Autotune.Tuner.benchmark_of_dsl ~label:"network" dsl in
+      let cfg = { Surf.Search.default_config with max_evals = evals } in
+      let result =
+        with_journal journal_out (fun () ->
+            Autotune.Tuner.tune
+              ~strategy:(Autotune.Tuner.Surf_search cfg)
+              ~journal_seed:seed
+              ~journal_net:(Netopt.Lower.provenance ~meth:"treesa" ~score net treesa)
+              ~rng:(Util.Rng.create seed) ~arch b)
+      in
+      Printf.printf
+        "tuned %d-statement program on %s: %.2f GFlops after %d evaluations\n"
+        (List.length b.statements) arch.Gpusim.Arch.name result.gflops
+        result.evaluations
+    end
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "Optimize the contraction order of an N-tensor network: score the \
+          greedy baseline against the TreeSA simulated-annealing tree (log2 \
+          time/space/read-write under an sc_target memory cap), and \
+          optionally lower the winner into the autotuning pipeline.")
+    Term.(
+      const run $ setup_logs $ file_arg $ einsum_arg $ gen_arg $ n_arg
+      $ gen_seed_arg $ seed_arg $ sa_iters_arg $ tc_arg $ sc_arg $ rw_arg
+      $ sc_target_arg $ json_flag $ emit_dsl_flag $ tune_flag $ arch_arg
+      $ evals_arg $ journal_out_arg)
 
 (* ---------------- archs ---------------- *)
 
@@ -889,6 +1089,7 @@ let subcommands =
     ("trace", "tune with tracing on; write a Chrome trace-event JSON");
     ("report", "tune and print convergence + metrics reports");
     ("profile", "tune with the kernel roofline profiler and print the report");
+    ("net", "optimize an N-tensor network's contraction order (greedy vs TreeSA)");
     ("archs", "list the simulated GPU architectures");
     ("history", "list the runs recorded in a tuning journal");
     ("explain", "full report for one journaled run (lineage, importances)");
@@ -916,7 +1117,8 @@ let () =
     Cmd.group info
       [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
         cmd_driver; cmd_c; cmd_inspect; cmd_check; cmd_batch; cmd_stats; cmd_trace;
-        cmd_report; cmd_profile; cmd_archs; cmd_history; cmd_explain; cmd_replay ]
+        cmd_report; cmd_profile; cmd_net; cmd_archs; cmd_history; cmd_explain;
+        cmd_replay ]
   in
   match Array.to_list Sys.argv with
   | [ _ ] | _ :: ("--help" | "-h" | "help") :: _ ->

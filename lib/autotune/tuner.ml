@@ -72,8 +72,14 @@ let variant_choices (b : benchmark) =
       { ids; v_ir; spaces = Tcr.Space.of_ir v_ir })
     (cross per_stmt)
 
+(* Saturating sum: network-lowered programs reach program_counts of
+   max_int, and a wrapped total would report a nonsense space size. *)
 let total_space choices =
-  List.fold_left (fun acc c -> acc + Tcr.Space.program_count c.spaces) 0 choices
+  List.fold_left
+    (fun acc c ->
+      let n = Tcr.Space.program_count c.spaces in
+      if acc > max_int - n then max_int else acc + n)
+    0 choices
 
 let features_of (c : variant_choice) points =
   ("variant", Surf.Feature.Cat (String.concat "." (List.map string_of_int c.ids)))
@@ -143,11 +149,13 @@ let build_pool ?(pool_per_variant = 600) ?prune ?gate rng choices =
 
 type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
 
-(* [journal_key] and [journal_seed] only annotate the flight-recorder entry
-   (canonical problem key, RNG seed); they never influence the tune. *)
+(* [journal_key], [journal_seed] and [journal_net] only annotate the
+   flight-recorder entry (canonical problem key, RNG seed, contraction-order
+   provenance); they never influence the tune. *)
 let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
     ?(pool_per_variant = 600) ?prune ?(static_gate = true) ?batch_map
-    ?(journal_key = "") ?(journal_seed = -1) ~rng ~arch (b : benchmark) =
+    ?(journal_key = "") ?(journal_seed = -1) ?journal_net ~rng ~arch
+    (b : benchmark) =
   Obs.Trace.with_span ~cat:"autotune"
     ~attrs:(fun () -> [ ("label", b.label); ("arch", arch.Gpusim.Arch.name) ])
     "tune"
@@ -318,6 +326,7 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
         gate_checked = !gate_checked;
         gate_rejected = !gate_rejected;
         gate_diags = (gate_stats ()).by_code;
+        network = journal_net;
         iterations = search_result.iterations;
         variants = List.map variant_of search_result.history;
         winner = variant_of search_result.best;

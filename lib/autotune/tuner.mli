@@ -85,9 +85,10 @@ type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
     rejects every candidate, tuning falls back to the ungated pool (with a
     warning) rather than failing.
 
-    [journal_key] and [journal_seed] annotate the {!Obs.Journal} entry
-    (canonical problem key, RNG seed) when the flight recorder is on; they
-    never influence the tune itself. *)
+    [journal_key], [journal_seed] and [journal_net] annotate the
+    {!Obs.Journal} entry (canonical problem key, RNG seed, contraction-order
+    provenance for network-originated tunes) when the flight recorder is on;
+    they never influence the tune itself. *)
 val tune :
   ?strategy:strategy ->
   ?reps:int ->
@@ -97,6 +98,7 @@ val tune :
   ?batch_map:((unit -> Gpusim.Gpu.report) list -> Gpusim.Gpu.report list) ->
   ?journal_key:string ->
   ?journal_seed:int ->
+  ?journal_net:Obs.Journal.network ->
   rng:Util.Rng.t ->
   arch:Gpusim.Arch.t ->
   benchmark ->

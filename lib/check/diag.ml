@@ -10,11 +10,13 @@
      BAR01x  TCR well-formedness errors (layer 1)
      BAR02x  recipe/search-point legality errors (layer 2)
      BAR03x  kernel/architecture resource errors (layer 3)
-     BAR04x  kernel-quality lints (warnings, layer 3) *)
+     BAR04x  kernel-quality lints (warnings, layer 3)
+     BAR05x  tensor-network stage (lib/netopt: network IR validation and
+             contraction-tree checks, ahead of the DSL front end) *)
 
 type severity = Error | Warning | Info
 
-type stage = Tcr | Recipe | Kernel
+type stage = Network | Tcr | Recipe | Kernel
 
 type t = {
   code : string;  (* stable "BARxxx" identifier *)
@@ -25,7 +27,11 @@ type t = {
 }
 
 let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
-let stage_name = function Tcr -> "tcr" | Recipe -> "recipe" | Kernel -> "kernel"
+let stage_name = function
+  | Network -> "network"
+  | Tcr -> "tcr"
+  | Recipe -> "recipe"
+  | Kernel -> "kernel"
 
 (* Errors sort first, then warnings, then infos; ties by code. *)
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2

@@ -3,11 +3,13 @@
     Each finding carries a stable [BARxxx] code, a severity, the pipeline
     stage that produced it and the site it anchors to. Code ranges:
     BAR00x verifier internals, BAR01x TCR well-formedness, BAR02x recipe
-    legality, BAR03x kernel/arch resource errors, BAR04x kernel lints. *)
+    legality, BAR03x kernel/arch resource errors, BAR04x kernel lints,
+    BAR05x tensor-network IR validation and contraction-tree checks
+    ([lib/netopt], ahead of the DSL front end). *)
 
 type severity = Error | Warning | Info
 
-type stage = Tcr | Recipe | Kernel
+type stage = Network | Tcr | Recipe | Kernel
 
 type t = {
   code : string;

@@ -1,0 +1,91 @@
+(* Random network generators for tests and benchmarks. Two families the
+   paper's single-equation front end never handled:
+
+   - [line]/[ring]: matrix-product-state-shaped chains (quantum-circuit
+     contractions): tensor i shares one bond index with each neighbour.
+     [line] keeps the two boundary bonds open (a matrix-chain product
+     with a rank-2 output); [ring] closes the loop (a trace, rank-0).
+   - [power_law]: preferential-attachment graphs (GNN-shaped): a few hub
+     tensors of high rank, many rank-2 spokes, two open legs.
+
+   All extents are drawn from the generator's [extents] choice list via
+   the caller's RNG: fixed seed, fixed network. *)
+
+let tensor name indices = { Network.t_name = name; t_indices = indices; t_dims = [] }
+
+let draw_extents rng choices indices =
+  List.map (fun i -> (i, Util.Rng.pick_list rng choices)) indices
+
+let line ?(extents = [ 2; 4; 8; 16; 32 ]) ~n rng =
+  if n < 2 then invalid_arg "Netopt.Gen.line: need at least two tensors";
+  let bond i = Printf.sprintf "a%d" i in
+  let tensors =
+    List.init n (fun i -> tensor (Printf.sprintf "T%d" i) [ bond i; bond (i + 1) ])
+  in
+  let all_bonds = List.init (n + 1) bond in
+  Network.make
+    ~output:[ bond 0; bond n ]
+    ~extents:(draw_extents rng extents all_bonds)
+    tensors
+
+let ring ?(extents = [ 2; 4; 8; 16; 32 ]) ~n rng =
+  if n < 3 then invalid_arg "Netopt.Gen.ring: need at least three tensors";
+  let bond i = Printf.sprintf "a%d" (i mod n) in
+  let tensors =
+    List.init n (fun i -> tensor (Printf.sprintf "T%d" i) [ bond i; bond (i + 1) ])
+  in
+  Network.make ~output:[]
+    ~extents:(draw_extents rng extents (List.init n bond))
+    tensors
+
+(* Preferential attachment: each new node connects to [edges_per_node]
+   distinct existing nodes, picked with probability proportional to
+   (degree + 1). Hubs emerge as high-rank tensors. *)
+let power_law ?(extents = [ 2; 3; 4 ]) ?(edges_per_node = 2) ~n rng =
+  if n < 3 then invalid_arg "Netopt.Gen.power_law: need at least three tensors";
+  let degree = Array.make n 0 in
+  let incident = Array.make n [] in
+  let edge_count = ref 0 in
+  let connect a b =
+    let e = Printf.sprintf "e%d" !edge_count in
+    incr edge_count;
+    degree.(a) <- degree.(a) + 1;
+    degree.(b) <- degree.(b) + 1;
+    incident.(a) <- e :: incident.(a);
+    incident.(b) <- e :: incident.(b)
+  in
+  connect 0 1;
+  for i = 2 to n - 1 do
+    let targets = ref [] in
+    let m = min edges_per_node i in
+    while List.length !targets < m do
+      (* roulette over degree + 1 among nodes < i not yet chosen *)
+      let weight j = if List.mem j !targets then 0 else degree.(j) + 1 in
+      let total = ref 0 in
+      for j = 0 to i - 1 do
+        total := !total + weight j
+      done;
+      let roll = ref (Util.Rng.int rng !total) in
+      let chosen = ref (-1) in
+      for j = 0 to i - 1 do
+        if !chosen < 0 then begin
+          roll := !roll - weight j;
+          if !roll < 0 then chosen := j
+        end
+      done;
+      targets := !chosen :: !targets
+    done;
+    List.iter (fun j -> connect i j) (List.sort compare !targets)
+  done;
+  (* two open legs on the first two tensors keep the output at rank 2 *)
+  incident.(0) <- "o0" :: incident.(0);
+  incident.(1) <- "o1" :: incident.(1);
+  let tensors =
+    List.init n (fun i -> tensor (Printf.sprintf "T%d" i) (List.rev incident.(i)))
+  in
+  let all_indices =
+    List.init !edge_count (fun k -> Printf.sprintf "e%d" k) @ [ "o0"; "o1" ]
+  in
+  Network.make ~output:[ "o0"; "o1" ]
+    ~extents:(draw_extents rng extents all_indices)
+    tensors

@@ -1,0 +1,14 @@
+(** Deterministic random-network generators (fixed seed, fixed network).
+    Extents are drawn per index from the [extents] choice list. *)
+
+(** Matrix-product-state-shaped chain of [n] tensors, boundary bonds open
+    (rank-2 output). Raises below 2 tensors. *)
+val line : ?extents:int list -> n:int -> Util.Rng.t -> Network.t
+
+(** Closed chain of [n] tensors: a trace, rank-0 output. Raises below 3. *)
+val ring : ?extents:int list -> n:int -> Util.Rng.t -> Network.t
+
+(** Preferential-attachment graph (GNN-shaped): hubs become high-rank
+    tensors; two open legs keep the output at rank 2. Raises below 3. *)
+val power_law :
+  ?extents:int list -> ?edges_per_node:int -> n:int -> Util.Rng.t -> Network.t

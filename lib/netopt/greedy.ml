@@ -1,0 +1,72 @@
+(* Min-growth greedy baseline: repeatedly contract the pair of components
+   whose result grows total resident memory the least (size of the merged
+   intermediate minus the sizes of its two operands, in elements). This is
+   the classic netcon/opt_einsum "greedy" heuristic - locally optimal,
+   frequently globally mediocre on heterogeneous extents, which is exactly
+   the gap TreeSA closes. Deterministic: pairs are scanned in component
+   order and only a strictly better growth displaces the incumbent. *)
+
+type component = { tree : Tree.t; indices : string list }
+
+let union a b = List.sort_uniq compare (a @ b)
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+(* Indices a merged component must retain: anything alive in another
+   component or in the network output. *)
+let needed_outside net comps skip_a skip_b =
+  let acc = ref (List.sort_uniq compare net.Network.output) in
+  List.iteri
+    (fun k c ->
+      if k <> skip_a && k <> skip_b then acc := union !acc c.indices)
+    comps;
+  !acc
+
+let merged_out net comps a b =
+  let ca = List.nth comps a and cb = List.nth comps b in
+  inter (union ca.indices cb.indices) (needed_outside net comps a b)
+
+(* Growth of contracting components [a] and [b], in elements (linear
+   space: log2 sizes stay modest for realistic networks, and the floats
+   only order candidate pairs). *)
+let growth net comps a b =
+  let ca = List.nth comps a and cb = List.nth comps b in
+  Float.exp2 (Network.log2_size net (merged_out net comps a b))
+  -. Float.exp2 (Network.log2_size net ca.indices)
+  -. Float.exp2 (Network.log2_size net cb.indices)
+
+let optimize net =
+  let n = List.length net.Network.tensors in
+  if n = 0 then invalid_arg "Netopt.Greedy.optimize: empty network";
+  let start =
+    List.mapi
+      (fun i (t : Network.tensor) ->
+        { tree = Tree.Leaf i; indices = List.sort_uniq compare t.t_indices })
+      net.Network.tensors
+  in
+  let rec contract comps =
+    match comps with
+    | [] -> assert false
+    | [ c ] -> c.tree
+    | _ ->
+      let m = List.length comps in
+      let best = ref None in
+      for a = 0 to m - 2 do
+        for b = a + 1 to m - 1 do
+          let g = growth net comps a b in
+          match !best with
+          | Some (_, _, g0) when g >= g0 -> ()
+          | _ -> best := Some (a, b, g)
+        done
+      done;
+      let a, b, _ = Option.get !best in
+      let ca = List.nth comps a and cb = List.nth comps b in
+      let merged =
+        {
+          tree = Tree.Node (ca.tree, cb.tree);
+          indices = merged_out net comps a b;
+        }
+      in
+      contract
+        (List.filteri (fun k _ -> k <> a && k <> b) comps @ [ merged ])
+  in
+  contract start

@@ -1,0 +1,8 @@
+(** Min-growth greedy baseline (the netcon/opt_einsum heuristic): always
+    contract the pair of components whose intermediate grows resident
+    memory the least. Deterministic - pairs are scanned in component order
+    and only strictly better growth displaces the incumbent. The starting
+    point and the bar for {!Treesa}. *)
+
+(** Raises [Invalid_argument] on an empty network. *)
+val optimize : Network.t -> Tree.t

@@ -1,0 +1,98 @@
+(* Lowering: a chosen contraction tree becomes an ordinary multi-statement
+   OCTOPI program - one Figure 2(a) statement per {!Tree.steps} step, with
+   fresh intermediate tensor names - so every tree node flows through the
+   unchanged variants -> TCR -> recipe -> SURF -> codegen pipeline.
+
+   Because [steps] is also what the cost model scores, the emitted program
+   is exactly the object the optimizer accounted for. Every summed index
+   of a step appears in both factors whenever it was contracted (rather
+   than deferred), which keeps the per-statement variant count at ~1: the
+   cross-statement variant product of a 20-step program stays tractable.
+
+   All extents are emitted explicitly in the [dims:] line, so the DSL
+   default never silently diverges from the network's. *)
+
+(* Fresh intermediate names n0, n1, ... skipping anything the network (or
+   the output tensor) already uses. *)
+let fresh_names net ~output_name count =
+  let taken =
+    output_name :: List.map (fun t -> t.Network.t_name) net.Network.tensors
+  in
+  let rec gen acc k remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let c = Printf.sprintf "n%d" k in
+      if List.mem c taken then gen acc (k + 1) remaining
+      else gen (c :: acc) (k + 1) (remaining - 1)
+    end
+  in
+  gen [] 0 count
+
+let program ?(output_name = "OUT") net tree =
+  let extents = Network.resolved_extents net in
+  let tensor_ref i =
+    let t = List.nth net.Network.tensors i in
+    { Octopi.Ast.name = t.t_name; indices = t.t_indices }
+  in
+  match tree with
+  | Tree.Leaf i ->
+    (* single-tensor network: one (possibly summing) copy statement *)
+    let t = List.nth net.Network.tensors i in
+    let sums =
+      List.sort compare
+        (List.filter
+           (fun ix -> not (List.mem ix net.Network.output))
+           (List.sort_uniq compare t.t_indices))
+    in
+    {
+      Octopi.Ast.extents;
+      stmts =
+        [
+          {
+            Octopi.Ast.lhs =
+              { Octopi.Ast.name = output_name; indices = net.Network.output };
+            sum_indices = sums;
+            factors = [ tensor_ref i ];
+            accumulate = false;
+          };
+        ];
+    }
+  | Tree.Node _ ->
+    let steps = Tree.steps net tree in
+    let n = List.length steps in
+    let names = Array.of_list (fresh_names net ~output_name (n - 1)) in
+    let name_of k = if k = n - 1 then output_name else names.(k) in
+    let factor_of = function
+      | Tree.Tensor i -> tensor_ref i
+      | Tree.Step j ->
+        { Octopi.Ast.name = name_of j; indices = (List.nth steps j).Tree.out }
+    in
+    {
+      Octopi.Ast.extents;
+      stmts =
+        List.mapi
+          (fun k (s : Tree.step) ->
+            {
+              Octopi.Ast.lhs =
+                { Octopi.Ast.name = name_of k; indices = s.out };
+              sum_indices = List.sort compare s.sums;
+              factors = [ factor_of s.left; factor_of s.right ];
+              accumulate = false;
+            })
+          steps;
+    }
+
+let to_dsl ?output_name net tree = Octopi.Ast.to_string (program ?output_name net tree)
+
+(* Journal provenance for a network-originated tune: which optimizer chose
+   the order, the serialized tree, and its score breakdown. *)
+let provenance ~meth ?(score = Tree.default_score) net tree =
+  let c = Tree.cost net tree in
+  {
+    Obs.Journal.net_method = meth;
+    net_order = Tree.to_string net tree;
+    net_tc = c.tc;
+    net_sc = c.sc;
+    net_rw = c.rw;
+    net_score = Tree.score score c;
+  }

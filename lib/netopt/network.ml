@@ -1,0 +1,292 @@
+(* Tensor-network IR: the input of the contraction-order optimizer.
+
+   A network is a hypergraph - tensors are nodes, indices are (hyper)edges
+   shared by every tensor that mentions them - plus the set of output
+   (open) indices and the index extents. This is the stage *before* the
+   paper's Figure 2(a) DSL: the optimizer picks a binary contraction tree
+   over the network, and only then does each tree node become a DSL
+   statement for the existing variants -> TCR -> recipe -> SURF pipeline.
+
+   Extents may be declared inline on a tensor ([T0 a:32 b]), by a network-
+   level [extent] line, or not at all (falling back to the DSL's default
+   extent). Validation reports every declaration conflict (BAR051) rather
+   than silently taking the first. *)
+
+type tensor = {
+  t_name : string;
+  t_indices : string list;  (* one entry per axis, outermost first *)
+  t_dims : (string * int) list;  (* extents declared inline on this tensor *)
+}
+
+type t = {
+  tensors : tensor list;
+  output : string list;  (* open indices, in output-axis order *)
+  extents : (string * int) list;  (* network-level extent declarations *)
+}
+
+let make ?(output = []) ?(extents = []) tensors = { tensors; output; extents }
+
+(* ---------------- index queries ---------------- *)
+
+let all_indices net =
+  List.concat_map (fun t -> t.t_indices) net.tensors
+  |> List.sort_uniq compare
+
+(* Every extent declaration with its declaring site, declaration order:
+   network-level lines first, then tensor annotations. *)
+let extent_declarations net =
+  List.map (fun (i, n) -> (i, n, "network")) net.extents
+  @ List.concat_map
+      (fun t -> List.map (fun (i, n) -> (i, n, t.t_name)) t.t_dims)
+      net.tensors
+
+let extent_of net idx =
+  match
+    List.find_opt (fun (i, _, _) -> i = idx) (extent_declarations net)
+  with
+  | Some (_, n, _) -> n
+  | None -> Octopi.Contraction.default_extent
+
+(* Fully resolved extents for every index in the network, sorted. *)
+let resolved_extents net =
+  List.map (fun i -> (i, extent_of net i)) (all_indices net)
+
+let log2_extent net idx = Float.log2 (float_of_int (extent_of net idx))
+
+(* log2 of the element count of a tensor over [indices]. *)
+let log2_size net indices =
+  List.fold_left (fun acc i -> acc +. log2_extent net i) 0.0 indices
+
+(* ---------------- validation ---------------- *)
+
+(* Identifiers as the DSL lexer accepts them (letters, digits, '_',
+   starting with a letter or '_'): everything here is eventually lowered
+   to DSL text, so reject anything the parser would choke on. *)
+let is_ident s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let dup_of xs =
+  let rec go = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else go rest
+  in
+  go xs
+
+(* How many tensors mention [idx]. *)
+let degree net idx =
+  List.length (List.filter (fun t -> List.mem idx t.t_indices) net.tensors)
+
+(* Network-stage diagnostics (BAR05x):
+     BAR050 error    output index not on any tensor
+     BAR051 error    conflicting extent declarations for one index
+     BAR052 error    index repeated within one tensor (diagonal - unsupported)
+     BAR053 error    output index repeated
+     BAR054 error    malformed network (bad/duplicate names, rank 0, empty)
+     BAR055 warning  dangling index (on one tensor only, not in the output)
+   sc_target and step-rank findings (BAR056/BAR057) concern a chosen tree,
+   not the bare network - see {!Tree.check}. *)
+let validate net =
+  let open Check.Diag in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  if net.tensors = [] then
+    add (error Network ~code:"BAR054" ~site:"network" "network has no tensors");
+  (match dup_of (List.map (fun t -> t.t_name) net.tensors) with
+  | Some n ->
+    add (error Network ~code:"BAR054" ~site:n "duplicate tensor name %S" n)
+  | None -> ());
+  List.iter
+    (fun t ->
+      if not (is_ident t.t_name) then
+        add
+          (error Network ~code:"BAR054" ~site:t.t_name
+             "tensor name %S is not a valid identifier" t.t_name);
+      if t.t_indices = [] then
+        add
+          (error Network ~code:"BAR054" ~site:t.t_name
+             "tensor %s has rank 0 (no indices)" t.t_name);
+      List.iter
+        (fun i ->
+          if not (is_ident i) then
+            add
+              (error Network ~code:"BAR054" ~site:t.t_name
+                 "index %S of tensor %s is not a valid identifier" i t.t_name))
+        t.t_indices;
+      match dup_of t.t_indices with
+      | Some i ->
+        add
+          (error Network ~code:"BAR052" ~site:t.t_name
+             "index %s repeated within tensor %s (diagonals are unsupported)" i
+             t.t_name)
+      | None -> ())
+    net.tensors;
+  (match dup_of net.output with
+  | Some i ->
+    add (error Network ~code:"BAR053" ~site:"output" "output index %s repeated" i)
+  | None -> ());
+  List.iter
+    (fun i ->
+      if degree net i = 0 then
+        add
+          (error Network ~code:"BAR050" ~site:"output"
+             "output index %s does not appear on any tensor" i))
+    net.output;
+  (* conflicting extents: report once per index, naming both sites *)
+  let decls = extent_declarations net in
+  List.iter
+    (fun idx ->
+      match List.filter (fun (i, _, _) -> i = idx) decls with
+      | (_, n0, s0) :: rest -> (
+        match List.find_opt (fun (_, n, _) -> n <> n0) rest with
+        | Some (_, n1, s1) ->
+          add
+            (error Network ~code:"BAR051" ~site:idx
+               "index %s declared with extent %d (%s) but %d (%s)" idx n0 s0 n1
+               s1)
+        | None -> ())
+      | [] -> ())
+    (List.sort_uniq compare (List.map (fun (i, _, _) -> i) decls));
+  List.iter
+    (fun (i, n, site) ->
+      if n <= 0 then
+        add
+          (error Network ~code:"BAR054" ~site
+             "index %s declared with non-positive extent %d" i n))
+    decls;
+  (* a degree-1 index outside the output is summed out unilaterally: legal
+     einsum, but almost always a typo in a network spec *)
+  List.iter
+    (fun i ->
+      if degree net i = 1 && not (List.mem i net.output) then
+        let holder =
+          List.find (fun t -> List.mem i t.t_indices) net.tensors
+        in
+        add
+          (warning Network ~code:"BAR055" ~site:holder.t_name
+             "index %s dangles: it appears only on tensor %s and not in the \
+              output"
+             i holder.t_name))
+    (all_indices net);
+  List.rev !ds
+
+(* ---------------- concrete syntax ---------------- *)
+
+(* Network spec files:
+
+     # a comment
+     tensor T0 a:32 b
+     tensor T1 b c:64
+     extent a 16        <- conflicting redeclaration: caught by validate
+     output a c
+
+   One directive per line; blank lines and '#' comments ignored. [tensor]
+   lists the indices of one tensor, each optionally annotated with its
+   extent. Unknown directives are syntax errors; semantic problems
+   (conflicts, dangling output indices, ...) are left to {!validate} so
+   the check CLI can report them all at once. *)
+
+exception Parse_error of string
+
+let perr fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_index_atom ~line atom =
+  match String.split_on_char ':' atom with
+  | [ idx ] -> (idx, None)
+  | [ idx; ext ] -> (
+    match int_of_string_opt ext with
+    | Some n -> (idx, Some n)
+    | None -> perr "line %d: extent %S is not an integer" line ext)
+  | _ -> perr "line %d: malformed index %S (want name or name:extent)" line atom
+
+let parse text =
+  let tensors = ref [] and output = ref None and extents = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun lineno raw ->
+         let line = lineno + 1 in
+         let body =
+           match String.index_opt raw '#' with
+           | Some i -> String.sub raw 0 i
+           | None -> raw
+         in
+         match
+           String.split_on_char ' ' body
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun w -> w <> "")
+         with
+         | [] -> ()
+         | "tensor" :: name :: atoms ->
+           if atoms = [] then perr "line %d: tensor %s has no indices" line name;
+           let parsed = List.map (parse_index_atom ~line) atoms in
+           tensors :=
+             {
+               t_name = name;
+               t_indices = List.map fst parsed;
+               t_dims =
+                 List.filter_map
+                   (fun (i, e) -> Option.map (fun n -> (i, n)) e)
+                   parsed;
+             }
+             :: !tensors
+         | [ "tensor" ] -> perr "line %d: tensor directive needs a name" line
+         | "output" :: indices ->
+           if !output <> None then perr "line %d: duplicate output directive" line;
+           output := Some indices
+         | [ "extent"; idx; ext ] -> (
+           match int_of_string_opt ext with
+           | Some n -> extents := (idx, n) :: !extents
+           | None -> perr "line %d: extent %S is not an integer" line ext)
+         | "extent" :: _ -> perr "line %d: extent directive wants: extent i 32" line
+         | word :: _ -> perr "line %d: unknown directive %S" line word);
+  {
+    tensors = List.rev !tensors;
+    output = Option.value ~default:[] !output;
+    extents = List.rev !extents;
+  }
+
+let of_file path = parse (Util.Fs.read_file path)
+
+let to_string net =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun t ->
+      Buffer.add_string b "tensor ";
+      Buffer.add_string b t.t_name;
+      List.iter
+        (fun i ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b i;
+          match List.assoc_opt i t.t_dims with
+          | Some n -> Buffer.add_string b (Printf.sprintf ":%d" n)
+          | None -> ())
+        t.t_indices;
+      Buffer.add_char b '\n')
+    net.tensors;
+  List.iter
+    (fun (i, n) -> Buffer.add_string b (Printf.sprintf "extent %s %d\n" i n))
+    net.extents;
+  if net.output <> [] then
+    Buffer.add_string b ("output " ^ String.concat " " net.output ^ "\n");
+  Buffer.contents b
+
+(* NumPy-style einsum specs ("ab,bc->ac") reuse the existing front end;
+   factor names beyond the default eight are generated there. *)
+let of_einsum ?extents spec =
+  let program = Octopi.Einsum_notation.parse ?extents spec in
+  match program.Octopi.Ast.stmts with
+  | [ stmt ] ->
+    {
+      tensors =
+        List.map
+          (fun (f : Octopi.Ast.tensor_ref) ->
+            { t_name = f.name; t_indices = f.indices; t_dims = [] })
+          stmt.factors;
+      output = stmt.lhs.indices;
+      extents = program.extents;
+    }
+  | stmts ->
+    perr "einsum spec %S parsed to %d statements; expected one" spec
+      (List.length stmts)

@@ -1,0 +1,110 @@
+(* TreeSA-style simulated annealing over contraction trees (Kalachev et
+   al.; the omeco/OMEinsumContractionOrders optimizer): start from the
+   greedy tree and random-walk the space of full binary trees through
+   local rotations, accepting uphill moves with Metropolis probability
+   exp(-beta * delta) under a rising inverse temperature. The returned
+   tree is the best ever visited, so the result never scores worse than
+   greedy at any seed.
+
+   The four rotation rules are associativity/commutativity moves that
+   reach every tree shape:
+
+     ((A,B),C) -> ((A,C),B) | ((C,B),A)
+     (A,(B,C)) -> (B,(A,C)) | (C,(B,A))
+
+   All randomness flows through the caller's {!Util.Rng} generator:
+   fixed seed, fixed schedule, bit-identical result. *)
+
+type config = {
+  sa_iters : int;  (* total proposals *)
+  beta0 : float;  (* initial inverse temperature *)
+  beta1 : float;  (* final inverse temperature *)
+}
+
+let default_config = { sa_iters = 4000; beta0 = 0.1; beta1 = 10.0 }
+
+(* The subtrees reachable from [t] by one rotation at its root. *)
+let rotations t =
+  (match t with
+  | Tree.Node (Tree.Node (a, b), c) ->
+    [ Tree.Node (Tree.Node (a, c), b); Tree.Node (Tree.Node (c, b), a) ]
+  | _ -> [])
+  @
+  match t with
+  | Tree.Node (a, Tree.Node (b, c)) ->
+    [ Tree.Node (b, Tree.Node (a, c)); Tree.Node (c, Tree.Node (b, a)) ]
+  | _ -> []
+
+(* Paths (false = left, true = right) to every node with a rotation. *)
+let rotatable_paths tree =
+  let rec go t prefix acc =
+    match t with
+    | Tree.Leaf _ -> acc
+    | Tree.Node (l, r) ->
+      let acc = if rotations t = [] then acc else List.rev prefix :: acc in
+      go r (true :: prefix) (go l (false :: prefix) acc)
+  in
+  List.rev (go tree [] [])
+
+let rec subtree_at t = function
+  | [] -> t
+  | b :: rest -> (
+    match t with
+    | Tree.Node (l, r) -> subtree_at (if b then r else l) rest
+    | Tree.Leaf _ -> invalid_arg "Netopt.Treesa: path leaves the tree")
+
+let rec replace_at t path sub =
+  match (path, t) with
+  | [], _ -> sub
+  | b :: rest, Tree.Node (l, r) ->
+    if b then Tree.Node (l, replace_at r rest sub)
+    else Tree.Node (replace_at l rest sub, r)
+  | _ :: _, Tree.Leaf _ -> invalid_arg "Netopt.Treesa: path leaves the tree"
+
+(* One uniformly random neighbour: a random rotation at a random
+   rotatable node. [None] when the tree has no rotatable node (< 3
+   leaves). *)
+let propose rng tree =
+  match rotatable_paths tree with
+  | [] -> None
+  | paths ->
+    let path = Util.Rng.pick_list rng paths in
+    let rotated = Util.Rng.pick_list rng (rotations (subtree_at tree path)) in
+    Some (replace_at tree path rotated)
+
+let optimize ?(config = default_config) ?(score = Tree.default_score)
+    ~rng net =
+  let start = Greedy.optimize net in
+  let fitness t = Tree.score score (Tree.cost net t) in
+  let current = ref start and current_score = ref (fitness start) in
+  let best = ref start and best_score = ref !current_score in
+  (match rotatable_paths start with
+  | [] -> ()  (* nothing to anneal: fewer than three tensors *)
+  | _ ->
+    for k = 0 to config.sa_iters - 1 do
+      let beta =
+        if config.sa_iters <= 1 then config.beta1
+        else
+          config.beta0
+          +. (config.beta1 -. config.beta0)
+             *. float_of_int k
+             /. float_of_int (config.sa_iters - 1)
+      in
+      match propose rng !current with
+      | None -> ()
+      | Some candidate ->
+        let s = fitness candidate in
+        let delta = s -. !current_score in
+        let accept =
+          delta <= 0.0 || Util.Rng.float rng 1.0 < Float.exp (-.beta *. delta)
+        in
+        if accept then begin
+          current := candidate;
+          current_score := s;
+          if s < !best_score then begin
+            best := candidate;
+            best_score := s
+          end
+        end
+    done);
+  !best

@@ -47,6 +47,19 @@ type rival = {
   rival_std : float;  (* ensemble disagreement on that prediction *)
 }
 
+(* Contraction-order provenance for network-originated tunes: which
+   optimizer chose the order, the serialized tree itself, and its score
+   breakdown (log2 time/space/readwrite). Entries journaled before netopt
+   existed decode as [None]. *)
+type network = {
+  net_method : string;  (* "greedy" | "treesa" *)
+  net_order : string;  (* serialized contraction tree, e.g. "((t0,t1),t2)" *)
+  net_tc : float;
+  net_sc : float;
+  net_rw : float;
+  net_score : float;
+}
+
 type entry = {
   run_id : string;  (* content-addressed; "" until recorded *)
   timestamp : float;  (* seconds since epoch; 0.0 until recorded *)
@@ -64,6 +77,7 @@ type entry = {
   gate_checked : int;  (* points screened by the static verifier's gate *)
   gate_rejected : int;  (* points the gate kept out of the pool *)
   gate_diags : (string * int) list;  (* gate error occurrences per BARxxx code *)
+  network : network option;  (* contraction-order provenance; None for DSL tunes *)
   iterations : Search_log.iteration list;
   variants : variant list;  (* every evaluated variant, evaluation order *)
   winner : variant;
@@ -101,6 +115,17 @@ let rival_to_json (r : rival) =
       ("lineage", lineage_to_json r.rival_lineage);
       ("predicted", Json.Num r.rival_predicted);
       ("pred_std", Json.Num r.rival_std);
+    ]
+
+let network_to_json (n : network) =
+  Json.Obj
+    [
+      ("method", Json.Str n.net_method);
+      ("order", Json.Str n.net_order);
+      ("tc", Json.Num n.net_tc);
+      ("sc", Json.Num n.net_sc);
+      ("rw", Json.Num n.net_rw);
+      ("score", Json.Num n.net_score);
     ]
 
 let iteration_to_json (it : Search_log.iteration) =
@@ -143,6 +168,11 @@ let to_json e =
          Json.Arr
            (List.map (fun (c, n) -> Json.Arr [ Json.Str c; Json.int n ]) e.gate_diags)
        );
+     ]
+    @ (match e.network with
+      | None -> []
+      | Some n -> [ ("network", network_to_json n) ])
+    @ [
        ("iterations", Json.Arr (List.map iteration_to_json e.iterations));
        ("variants", Json.Arr (List.map variant_to_json e.variants));
        ("winner", variant_to_json e.winner);
@@ -245,6 +275,16 @@ let gate_diags_of_json j =
         (code, int_of_float n))
       l
 
+let network_of_json j : network =
+  {
+    net_method = str "method" j;
+    net_order = str "order" j;
+    net_tc = num "tc" j;
+    net_sc = num "sc" j;
+    net_rw = num "rw" j;
+    net_score = num "score" j;
+  }
+
 let of_json j =
   try
     let v = int_field "schema" j in
@@ -267,6 +307,7 @@ let of_json j =
         gate_checked = gate_count "gate_checked" j;
         gate_rejected = gate_count "gate_rejected" j;
         gate_diags = gate_diags_of_json j;
+        network = Option.map network_of_json (Json.member "network" j);
         iterations = List.map iteration_of_json (arr "iterations" j);
         variants = List.map variant_of_json (arr "variants" j);
         winner =
@@ -450,6 +491,13 @@ let render_explain e =
            ^ String.concat ", "
                (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) ds)
            ^ ")"));
+  (match e.network with
+  | None -> ()
+  | Some n ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "contraction order (%s): %s\n  tc %.3f  sc %.3f  rw %.3f  score %.3f\n\n"
+         n.net_method n.net_order n.net_tc n.net_sc n.net_rw n.net_score));
   Buffer.add_string b "winner lineage\n";
   render_lineage b "  " e.winner.lineage;
   Buffer.add_string b "\nparameter importances (split gain)\n";

@@ -44,6 +44,19 @@ type rival = {
   rival_std : float;
 }
 
+(** Contraction-order provenance for network-originated tunes: the
+    optimizer that chose the order ("greedy"/"treesa"), the serialized
+    contraction tree, and its score breakdown in log2 units. Entries
+    journaled before netopt existed decode as [None]. *)
+type network = {
+  net_method : string;
+  net_order : string;
+  net_tc : float;
+  net_sc : float;
+  net_rw : float;
+  net_score : float;
+}
+
 type entry = {
   run_id : string;  (** content-addressed; [""] until recorded *)
   timestamp : float;  (** seconds since epoch; [0.0] until recorded *)
@@ -64,6 +77,8 @@ type entry = {
   gate_diags : (string * int) list;
       (** gate error occurrences per BARxxx code; entries journaled before
           the gate existed decode as [0]/[0]/[[]] *)
+  network : network option;
+      (** contraction-order provenance; [None] for plain DSL tunes *)
   iterations : Search_log.iteration list;
   variants : variant list;  (** every evaluated variant, evaluation order *)
   winner : variant;

@@ -8,6 +8,22 @@ let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 let default_factor_names = [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H" ]
 
+(* Extend a name list to cover [n] factors: past the supplied names,
+   generate T8, T9, ... (skipping any the caller already used) so
+   network-sized specs of tens of tensors parse without the caller
+   spelling out every factor name. *)
+let extend_names names n =
+  let rec fill acc k remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let c = Printf.sprintf "T%d" k in
+      if List.mem c names then fill acc (k + 1) remaining
+      else fill (c :: acc) (k + 1) (remaining - 1)
+    end
+  in
+  let supplied = List.length names in
+  if n <= supplied then names else names @ fill [] supplied (n - supplied)
+
 (* split at the first occurrence of a separator substring *)
 let split_once s sep =
   let n = String.length s and m = String.length sep in
@@ -37,8 +53,7 @@ let parse ?(output = "O") ?(names = default_factor_names) ?(extents = []) spec =
   let factor_specs = String.split_on_char ',' lhs |> List.map String.trim in
   if factor_specs = [] || List.mem "" factor_specs then
     err "empty factor in einsum spec %S" spec;
-  if List.length factor_specs > List.length names then
-    err "too many factors (%d) for the available names" (List.length factor_specs);
+  let names = extend_names names (List.length factor_specs) in
   let factors =
     List.mapi
       (fun i fspec ->

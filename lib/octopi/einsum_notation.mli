@@ -7,9 +7,11 @@ exception Error of string
 val default_factor_names : string list
 
 (** [parse ?output ?names ?extents spec]: factor tensors take [names]
-    (default A, B, C, ...), the output is [output] (default "O"), [extents]
-    assigns index sizes (others default). Raises {!Error} on malformed
-    specs (missing "->", non-letter indices, too many factors). *)
+    (default A, B, C, ...; specs with more factors than names get generated
+    T8, T9, ... names, so network-sized specs need no explicit name list),
+    the output is [output] (default "O"), [extents] assigns index sizes
+    (others default). Raises {!Error} on malformed specs (missing "->",
+    non-letter indices). *)
 val parse :
   ?output:string -> ?names:string list -> ?extents:(string * int) list -> string ->
   Ast.program

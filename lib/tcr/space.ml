@@ -27,6 +27,14 @@ type t = {
 
 let default_max_threads = 1024
 
+(* Saturating multiply for space counts: network-lowered programs have
+   dozens of statements whose cross product overflows 63-bit ints, and a
+   silently wrapped count can masquerade as a small space. *)
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
 let make ?(max_threads_per_block = default_max_threads) (ir : Ir.t) op_index =
   let op = List.nth ir.ops op_index in
   let candidates = Decision.derive ir op in
@@ -146,11 +154,14 @@ let of_ir ?max_threads_per_block ir =
         ("label", ir.Ir.label);
         ("ops", string_of_int (List.length ps.op_spaces));
         ( "program_count",
-          string_of_int (List.fold_left (fun acc s -> acc * count s) 1 ps.op_spaces) );
+          string_of_int (List.fold_left (fun acc s -> sat_mul acc (count s)) 1 ps.op_spaces) );
       ];
   ps
 
 (* Size of the cross-product space (what the paper reports: e.g. 512,000
-   tensor-code variants for Lg3t). *)
+   tensor-code variants for Lg3t). Multiplication saturates at [max_int]:
+   network-lowered programs have dozens of statements whose cross product
+   overflows 63-bit ints, and a silently wrapped count can masquerade as a
+   small space and trigger full enumeration. *)
 let program_count ps =
-  List.fold_left (fun acc s -> acc * count s) 1 ps.op_spaces
+  List.fold_left (fun acc s -> sat_mul acc (count s)) 1 ps.op_spaces

@@ -30,4 +30,5 @@ let () =
       ("perfobs", Test_perfobs.suite);
       ("journal", Test_journal.suite);
       ("check", Test_check.suite);
+      ("netopt", Test_netopt.suite);
     ]
