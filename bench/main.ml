@@ -8,7 +8,7 @@
 
    Experiments (none = all, in the order below):
      claims space table2 table3 table4 figure3 surf-vs-brute ablation
-     modelcheck motivation sweep service netopt bechamel
+     modelcheck motivation sweep service netopt telemetry bechamel
 
    Flags compose with any experiment selection; unknown --flags are an
    error, not a silently ignored subcommand:
@@ -43,7 +43,7 @@ let default_options =
 let experiment_names =
   [ "claims"; "space"; "table2"; "table3"; "table4"; "figure3"; "surf-vs-brute";
     "ablation"; "modelcheck"; "motivation"; "sweep"; "service"; "netopt";
-    "bechamel" ]
+    "telemetry"; "bechamel" ]
 
 let usage () =
   Printf.eprintf
@@ -185,6 +185,38 @@ let netopt_table () =
 
 let run_netopt () = table "netopt" netopt_table
 
+(* Telemetry: sketch-estimated quantiles vs exact order statistics on a
+   heavy-tailed fixed-seed sample, with the constant-memory bucket count
+   alongside - the accuracy/footprint tradeoff that lets Service.Metrics
+   drop full-history timer storage. *)
+let telemetry_table () =
+  let n = 20_000 in
+  let rng = Util.Rng.create 5 in
+  let sketch = Obs.Sketch.create () in
+  let samples =
+    List.init n (fun _ ->
+        let v = 1e-4 *. exp (1.5 *. Util.Rng.gaussian rng) in
+        Obs.Sketch.add sketch v;
+        v)
+  in
+  let row p =
+    let exact = Util.Stats.percentile p samples in
+    let est = Obs.Sketch.quantile sketch p in
+    [ Printf.sprintf "p%g" p;
+      Util.Table.cell_f ~digits:4 (exact *. 1e3);
+      Util.Table.cell_f ~digits:4 (est *. 1e3);
+      Util.Table.cell_f (100.0 *. abs_float (est -. exact) /. exact) ]
+  in
+  let rows = List.map row [ 50.0; 90.0; 99.0; 99.9 ] in
+  Util.Table.create
+    ~title:
+      (Printf.sprintf
+         "Quantile sketch vs exact order statistics (n=%d, %d sketch buckets)"
+         n (Obs.Sketch.bucket_count sketch))
+    ([ "quantile"; "exact (ms)"; "sketch (ms)"; "err %" ] :: rows)
+
+let run_telemetry () = table "telemetry" telemetry_table
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure, each running a
    reduced-size regeneration of that experiment's pipeline so that several
@@ -245,6 +277,14 @@ let bench_netopt () =
     Netopt.Tree.score score (Netopt.Tree.cost net treesa)
     <= Netopt.Tree.score score (Netopt.Tree.cost net greedy))
 
+let bench_telemetry () =
+  (* the streaming observe path: ring write, moments, sketch, decades *)
+  let m = Service.Metrics.create () in
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 2048 do
+    Service.Metrics.observe m "bench" (1e-4 *. exp (Util.Rng.gaussian rng))
+  done
+
 let bechamel_tests =
   let open Bechamel in
   [
@@ -256,6 +296,7 @@ let bechamel_tests =
     Test.make ~name:"figure3:nwchem-vs-naive-acc" (Staged.stage bench_figure3);
     Test.make ~name:"surf-vs-brute:model-search" (Staged.stage bench_surf_brute);
     Test.make ~name:"netopt:treesa-line12" (Staged.stage bench_netopt);
+    Test.make ~name:"telemetry:metrics-observe" (Staged.stage bench_telemetry);
   ]
 
 let clock_label = "monotonic-clock"
@@ -325,6 +366,7 @@ let runners =
     ("sweep", run_sweep);
     ("service", run_service);
     ("netopt", run_netopt);
+    ("telemetry", run_telemetry);
     ("bechamel", run_bechamel);
   ]
 

@@ -18,6 +18,9 @@
      history   list the runs recorded in a tuning journal
      explain   full report for one journaled run (lineage, importances, rivals)
      replay    re-run a journaled tune and fail on drift
+     loadgen   replay a journal's request mix under SLO monitoring
+     slo       render the SLO verdict of a saved replay report
+     dash      replay with a live text dashboard of the telemetry window
 
    tune and batch also accept --profile-out=FILE to write the same roofline
    report alongside their normal output, and --journal=FILE to append each
@@ -1006,12 +1009,49 @@ let cmd_archs =
 (* ---------------- history / explain / replay (tuning journal) ------- *)
 
 let cmd_history =
-  let run () journal =
-    print_string (Obs.Journal.render_history (load_journal journal))
+  let tail_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tail" ] ~docv:"N" ~doc:"Show only the N most recent runs.")
+  in
+  let since_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "since" ] ~docv:"RUN"
+          ~doc:"Show only the runs recorded after RUN (id or unique prefix).")
+  in
+  let run () journal tail since =
+    let entries = load_journal journal in
+    let entries =
+      match since with
+      | None -> entries
+      | Some run ->
+        let anchor = find_run entries run in
+        let rec after = function
+          | [] -> []
+          | (e : Obs.Journal.entry) :: rest ->
+            if e.run_id = anchor.Obs.Journal.run_id then rest else after rest
+        in
+        after entries
+    in
+    let entries =
+      match tail with
+      | None -> entries
+      | Some n when n <= 0 -> []
+      | Some n ->
+        let len = List.length entries in
+        List.filteri (fun i _ -> i >= len - n) entries
+    in
+    print_string (Obs.Journal.render_history entries)
   in
   Cmd.v
-    (Cmd.info "history" ~doc:"List the runs recorded in a tuning journal.")
-    Term.(const run $ setup_logs $ journal_file_arg)
+    (Cmd.info "history"
+       ~doc:
+         "List the runs recorded in a tuning journal: all of them, the most \
+          recent N (--tail), or the ones after a given run (--since).")
+    Term.(const run $ setup_logs $ journal_file_arg $ tail_arg $ since_arg)
 
 let cmd_explain =
   let run () journal run_id =
@@ -1068,6 +1108,183 @@ let cmd_replay =
           measured-time ratio drifts.")
     Term.(const run $ setup_logs $ journal_file_arg $ run_arg $ prune_arg $ tolerance_arg)
 
+(* ---------------- loadgen / slo / dash (telemetry) ---------------- *)
+
+(* Shared replay configuration: loadgen and dash drive the same
+   deterministic harness with the same knobs. *)
+let loadgen_config_term =
+  let requests =
+    Arg.(
+      value & opt int 10_000
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to replay (default 10000).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N" ~doc:"Requests per engine batch (default 16).")
+  in
+  let error_rate =
+    Arg.(
+      value & opt float 0.001
+      & info [ "error-rate" ] ~docv:"R"
+          ~doc:"Injected failure probability per request (default 0.001).")
+  in
+  let degrade =
+    Arg.(
+      value & opt float 1.0
+      & info [ "degrade" ] ~docv:"X"
+          ~doc:"Latency-model multiplier; >1 simulates a regression (default 1).")
+  in
+  let p99_budget =
+    Arg.(
+      value & opt float Obs.Slo.default_spec.latency_budget_s
+      & info [ "p99-budget" ] ~docv:"SECONDS"
+          ~doc:"p99 latency budget of the SLO, in seconds (default 0.005).")
+  in
+  let error_objective =
+    Arg.(
+      value & opt float Obs.Slo.default_spec.error_objective
+      & info [ "error-objective" ] ~docv:"R"
+          ~doc:"Tolerated error ratio of the SLO (default 0.01).")
+  in
+  let window_width =
+    Arg.(
+      value & opt int 250
+      & info [ "window-width" ] ~docv:"TICKS"
+          ~doc:"Logical ticks per telemetry-window epoch (default 250).")
+  in
+  let window_buckets =
+    Arg.(
+      value & opt int 8
+      & info [ "window-buckets" ] ~docv:"N"
+          ~doc:"Epochs in the telemetry-window ring (default 8).")
+  in
+  let reps_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Measurement repetitions per cold-tune evaluation (default 3).")
+  in
+  let mk arch seed evals reps requests batch error_rate degrade p99 err_obj width
+      buckets =
+    let base = Service.Loadgen.default_config in
+    {
+      base with
+      requests;
+      seed;
+      batch;
+      error_rate;
+      degrade;
+      window_width = width;
+      window_buckets = buckets;
+      slo =
+        {
+          Obs.Slo.default_spec with
+          latency_budget_s = p99;
+          error_objective = err_obj;
+        };
+      engine = { base.engine with arch; seed; max_evals = evals; reps };
+    }
+  in
+  Term.(
+    const mk $ arch_arg $ seed_arg $ evals_arg $ reps_arg $ requests $ batch
+    $ error_rate $ degrade $ p99_budget $ error_objective $ window_width
+    $ window_buckets)
+
+let load_mix journal =
+  let mix = Service.Loadgen.mix_of_journal (load_journal journal) in
+  if mix = [] then
+    failwith
+      (Printf.sprintf
+         "journal %s holds no runs; record one first, e.g. 'barracuda tune \
+          --journal=%s -e EXPR'"
+         journal journal);
+  mix
+
+let cmd_loadgen =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable replay report (JSON, deterministic \
+             for a fixed seed) to FILE.")
+  in
+  let run () journal cfg out =
+    let mix = load_mix journal in
+    let r = Service.Loadgen.run cfg mix in
+    print_string (Service.Loadgen.render r);
+    (match out with
+    | Some path ->
+      Util.Fs.write_file path
+        (Obs.Json.to_string ~indent:true (Service.Loadgen.report_json r));
+      Printf.printf "wrote replay report to %s\n" path
+    | None -> ());
+    if not (Obs.Slo.ok r.verdict) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay the request mix recorded in a tuning journal against a real \
+          engine, stream the modeled latencies through sliding telemetry \
+          windows, and exit nonzero if the final SLO verdict pages.")
+    Term.(const run $ setup_logs $ journal_file_arg $ loadgen_config_term $ out_arg)
+
+let cmd_slo =
+  let report_arg =
+    Arg.(
+      value & pos 0 string "slo-report.json"
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Replay report written by 'loadgen --out' (the verdict is read \
+             from its 'slo' member) or a bare SLO report.")
+  in
+  let run () path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let json = Obs.Json.parse_exn s in
+    let json =
+      match Obs.Json.member "slo" json with Some j -> j | None -> json
+    in
+    match Obs.Slo.of_json json with
+    | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+    | Ok report ->
+      print_string (Obs.Slo.render report);
+      if not (Obs.Slo.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Render the SLO verdict of a saved replay report and exit nonzero \
+          if it pages.")
+    Term.(const run $ setup_logs $ report_arg)
+
+let cmd_dash =
+  let frames_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Dashboard frames to print during the replay (default 4).")
+  in
+  let run () journal cfg frames =
+    let mix = load_mix journal in
+    let every = max 1 (cfg.Service.Loadgen.requests / max 1 frames) in
+    let frame w ~now =
+      Printf.printf "--- tick %d ---\n%s\n" now (Obs.Window.render w ~now)
+    in
+    let r = Service.Loadgen.run ~on_frame:frame ~frame_every:every cfg mix in
+    print_string (Service.Loadgen.render r)
+  in
+  Cmd.v
+    (Cmd.info "dash"
+       ~doc:
+         "Replay a journal's request mix and print a live text dashboard of \
+          the sliding telemetry window (per-epoch rates, quantiles, a p99 \
+          sparkline) plus the final SLO verdict.")
+    Term.(const run $ setup_logs $ journal_file_arg $ loadgen_config_term $ frames_arg)
+
 (* ---------------- main ---------------- *)
 
 (* One-line-per-subcommand usage screen, shown on bare invocation and on
@@ -1094,6 +1311,9 @@ let subcommands =
     ("history", "list the runs recorded in a tuning journal");
     ("explain", "full report for one journaled run (lineage, importances)");
     ("replay", "re-run a journaled tune; exit nonzero on drift");
+    ("loadgen", "replay a journal's request mix; exit nonzero on SLO breach");
+    ("slo", "render the SLO verdict of a saved replay report");
+    ("dash", "replay with a live text dashboard of the telemetry window");
   ]
 
 let usage_screen =
@@ -1118,7 +1338,7 @@ let () =
       [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
         cmd_driver; cmd_c; cmd_inspect; cmd_check; cmd_batch; cmd_stats; cmd_trace;
         cmd_report; cmd_profile; cmd_net; cmd_archs; cmd_history; cmd_explain;
-        cmd_replay ]
+        cmd_replay; cmd_loadgen; cmd_slo; cmd_dash ]
   in
   match Array.to_list Sys.argv with
   | [ _ ] | _ :: ("--help" | "-h" | "help") :: _ ->

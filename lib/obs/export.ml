@@ -126,10 +126,17 @@ let write_chrome_trace path events =
 
 (* ---------------- Prometheus text exposition ---------------- *)
 
+(* Names derived from user strings (timer labels, cache keys) must match
+   the exposition grammar [a-zA-Z_][a-zA-Z0-9_]*: illegal characters map
+   to '_', and a leading digit (possible when [prefix] is empty) gains a
+   '_' prefix. *)
 let metric_name prefix name =
   let b = Buffer.create (String.length name + String.length prefix + 1) in
-  Buffer.add_string b prefix;
-  Buffer.add_char b '_';
+  if prefix <> "" then begin
+    Buffer.add_string b prefix;
+    Buffer.add_char b '_'
+  end
+  else (match name with "" -> () | s -> (match s.[0] with '0' .. '9' -> Buffer.add_char b '_' | _ -> ()));
   String.iter
     (fun c ->
       match c with
@@ -138,18 +145,39 @@ let metric_name prefix name =
     name;
   Buffer.contents b
 
-let prometheus ?(prefix = "barracuda") ~counters ~timers () =
-  let b = Buffer.create 1024 in
+(* HELP text escaping per the exposition format: only backslash and
+   newline are special. *)
+let help_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let header b ~metric ~help ~kind =
+  Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" metric (help_escape help));
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" metric kind)
+
+let counter_lines b prefix counters =
   List.iter
     (fun (name, v) ->
-      let m = metric_name prefix name in
-      Buffer.add_string b (Printf.sprintf "# TYPE %s_total counter\n" m);
-      Buffer.add_string b (Printf.sprintf "%s_total %d\n" m v))
-    counters;
+      let m = metric_name prefix name ^ "_total" in
+      header b ~metric:m ~help:(Printf.sprintf "Occurrences of %s." name) ~kind:"counter";
+      Buffer.add_string b (Printf.sprintf "%s %d\n" m v))
+    counters
+
+let prometheus ?(prefix = "barracuda") ~counters ~timers () =
+  let b = Buffer.create 1024 in
+  counter_lines b prefix counters;
   List.iter
     (fun (name, samples) ->
       let m = metric_name prefix (name ^ "_seconds") in
-      Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" m);
+      header b ~metric:m ~help:(Printf.sprintf "Latency of %s in seconds." name)
+        ~kind:"summary";
       let quantile q p =
         Buffer.add_string b
           (Printf.sprintf "%s{quantile=\"%s\"} %.9g\n" m q
@@ -164,4 +192,31 @@ let prometheus ?(prefix = "barracuda") ~counters ~timers () =
         (Printf.sprintf "%s_sum %.9g\n" m (List.fold_left ( +. ) 0.0 samples));
       Buffer.add_string b (Printf.sprintf "%s_count %d\n" m (List.length samples)))
     timers;
+  Buffer.contents b
+
+(* Native histograms from sketches: the log-bucket upper bounds become the
+   cumulative le="..." series. O(buckets) regardless of traffic. *)
+let prometheus_sketches ?(prefix = "barracuda") ~counters ~sketches () =
+  let b = Buffer.create 1024 in
+  counter_lines b prefix counters;
+  List.iter
+    (fun (name, sketch) ->
+      let m = metric_name prefix (name ^ "_seconds") in
+      header b ~metric:m
+        ~help:
+          (Printf.sprintf
+             "Latency of %s in seconds (log-bucket sketch, relative error %g)."
+             name (Sketch.alpha sketch))
+        ~kind:"histogram";
+      let cum = ref 0 in
+      List.iter
+        (fun (upper, count) ->
+          cum := !cum + count;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%.9g\"} %d\n" m upper !cum))
+        (Sketch.buckets sketch);
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m (Sketch.count sketch));
+      Buffer.add_string b (Printf.sprintf "%s_sum %.9g\n" m (Sketch.total sketch));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" m (Sketch.count sketch)))
+    sketches;
   Buffer.contents b

@@ -14,13 +14,36 @@ val chrome_trace : Trace.event list -> string
 
 val write_chrome_trace : string -> Trace.event list -> unit
 
+(** Sanitize a user-derived metric name for the Prometheus exposition
+    format: illegal characters map to [_], and a leading digit gains a [_]
+    prefix so the result always matches [[a-zA-Z_][a-zA-Z0-9_]*]. *)
+val metric_name : string -> string -> string
+
+(** Escape a [# HELP] text per the exposition format: backslash and
+    newline become [\\] and [\n]. *)
+val help_escape : string -> string
+
 (** Prometheus text exposition: counters as [<prefix>_<name>_total],
     timers as summaries ([_sum], [_count], quantiles 0.5/0.9/0.99 computed
-    with {!Util.Stats.percentile}). Metric names are sanitized to
-    [[a-zA-Z0-9_]]. *)
+    with {!Util.Stats.percentile}). Every metric carries [# HELP] and
+    [# TYPE] lines; names are sanitized with {!metric_name}. *)
 val prometheus :
   ?prefix:string ->
   counters:(string * int) list ->
   timers:(string * float list) list ->
+  unit ->
+  string
+
+(** Native-histogram exposition sourced from quantile sketches: each timer
+    [<prefix>_<name>_seconds] is a [# TYPE ... histogram] with cumulative
+    [_bucket{le="..."}] lines over the sketch's log-bucket upper bounds
+    (plus the mandatory [le="+Inf"]), [_sum] and [_count]; counters are
+    rendered as in {!prometheus}. Bucket counts come straight from
+    {!Sketch.buckets}, so exposition cost and size are O(buckets), not
+    O(observations). *)
+val prometheus_sketches :
+  ?prefix:string ->
+  counters:(string * int) list ->
+  sketches:(string * Sketch.t) list ->
   unit ->
   string

@@ -1,0 +1,226 @@
+(* Multi-window burn-rate SLO evaluation over a Window ring. Pure over the
+   window state: no clock reads, no RNG, so replayed traffic yields a
+   bit-identical report. *)
+
+type spec = {
+  name : string;
+  latency_p : float;
+  latency_budget_s : float;
+  error_objective : float;
+  short_epochs : int;
+  long_epochs : int;
+  page_burn : float;
+  ticket_burn : float;
+}
+
+let default_spec =
+  {
+    name = "serving";
+    latency_p = 99.0;
+    latency_budget_s = 0.005;
+    error_objective = 0.01;
+    short_epochs = 1;
+    long_epochs = 8;
+    page_burn = 10.0;
+    ticket_burn = 2.0;
+  }
+
+type severity = Page | Ticket | Ok
+
+let severity_name = function Page -> "page" | Ticket -> "ticket" | Ok -> "ok"
+
+type alert = {
+  objective : string;
+  severity : severity;
+  observed_short : float;
+  observed_long : float;
+  budget : float;
+  burn_short : float;
+  burn_long : float;
+  detail : string;
+}
+
+type report = {
+  spec : spec;
+  at_tick : int;
+  requests : int;
+  alerts : alert list;
+}
+
+(* burn = observed/budget; 0 budget means any observation burns infinitely *)
+let burn ~budget observed =
+  if observed <= 0.0 || Float.is_nan observed then 0.0
+  else if budget <= 0.0 then infinity
+  else observed /. budget
+
+let latency_alert spec (short : Window.snapshot) (long : Window.snapshot) =
+  let p_short = Window.quantile short spec.latency_p in
+  let p_long = Window.quantile long spec.latency_p in
+  let over v = Float.is_finite v && v > spec.latency_budget_s in
+  let severity =
+    match (over p_short, over p_long) with
+    | true, true -> Page
+    | true, false | false, true -> Ticket
+    | false, false -> Ok
+  in
+  {
+    objective = "latency";
+    severity;
+    observed_short = p_short;
+    observed_long = p_long;
+    budget = spec.latency_budget_s;
+    burn_short = burn ~budget:spec.latency_budget_s p_short;
+    burn_long = burn ~budget:spec.latency_budget_s p_long;
+    detail =
+      Printf.sprintf "p%g %s: short %.6gs, long %.6gs vs budget %.6gs"
+        spec.latency_p (severity_name severity) p_short p_long spec.latency_budget_s;
+  }
+
+let error_alert spec (short : Window.snapshot) (long : Window.snapshot) =
+  let b_short = burn ~budget:spec.error_objective short.error_ratio in
+  let b_long = burn ~budget:spec.error_objective long.error_ratio in
+  let severity =
+    if b_short >= spec.page_burn && b_long >= spec.page_burn then Page
+    else if b_short >= spec.ticket_burn && b_long >= spec.ticket_burn then Ticket
+    else Ok
+  in
+  {
+    objective = "error-rate";
+    severity;
+    observed_short = short.error_ratio;
+    observed_long = long.error_ratio;
+    budget = spec.error_objective;
+    burn_short = b_short;
+    burn_long = b_long;
+    detail =
+      Printf.sprintf "error-rate %s: burn %.2fx short / %.2fx long vs objective %g"
+        (severity_name severity) b_short b_long spec.error_objective;
+  }
+
+let severity_rank = function Page -> 0 | Ticket -> 1 | Ok -> 2
+
+let evaluate spec window ~now =
+  let short = Window.snapshot ~last:spec.short_epochs window ~now in
+  let long = Window.snapshot ~last:spec.long_epochs window ~now in
+  let alerts =
+    [ latency_alert spec short long; error_alert spec short long ]
+    |> List.stable_sort (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
+  in
+  { spec; at_tick = now; requests = long.requests; alerts }
+
+let ok r = not (List.exists (fun a -> a.severity = Page) r.alerts)
+
+(* ---------------- JSON ---------------- *)
+
+let spec_json s =
+  Json.Obj
+    [
+      ("name", Json.Str s.name);
+      ("latency_p", Json.Num s.latency_p);
+      ("latency_budget_s", Json.Num s.latency_budget_s);
+      ("error_objective", Json.Num s.error_objective);
+      ("short_epochs", Json.int s.short_epochs);
+      ("long_epochs", Json.int s.long_epochs);
+      ("page_burn", Json.Num s.page_burn);
+      ("ticket_burn", Json.Num s.ticket_burn);
+    ]
+
+let alert_json a =
+  Json.Obj
+    [
+      ("objective", Json.Str a.objective);
+      ("severity", Json.Str (severity_name a.severity));
+      ("observed_short", Json.Num a.observed_short);
+      ("observed_long", Json.Num a.observed_long);
+      ("budget", Json.Num a.budget);
+      ("burn_short", Json.Num a.burn_short);
+      ("burn_long", Json.Num a.burn_long);
+      ("detail", Json.Str a.detail);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("spec", spec_json r.spec);
+      ("at_tick", Json.int r.at_tick);
+      ("requests", Json.int r.requests);
+      ("ok", Json.Bool (ok r));
+      ("alerts", Json.Arr (List.map alert_json r.alerts));
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Result.Ok v
+  | None -> Result.Error (Printf.sprintf "missing or invalid field %S" name)
+
+let num name j = field name Json.get_num j
+let str name j = field name Json.get_str j
+let int_field name j = Result.map int_of_float (num name j)
+
+let spec_of_json j =
+  let* name = str "name" j in
+  let* latency_p = num "latency_p" j in
+  let* latency_budget_s = num "latency_budget_s" j in
+  let* error_objective = num "error_objective" j in
+  let* short_epochs = int_field "short_epochs" j in
+  let* long_epochs = int_field "long_epochs" j in
+  let* page_burn = num "page_burn" j in
+  let* ticket_burn = num "ticket_burn" j in
+  Result.Ok
+    { name; latency_p; latency_budget_s; error_objective; short_epochs;
+      long_epochs; page_burn; ticket_burn }
+
+let severity_of_name = function
+  | "page" -> Result.Ok Page
+  | "ticket" -> Result.Ok Ticket
+  | "ok" -> Result.Ok Ok
+  | s -> Result.Error (Printf.sprintf "unknown severity %S" s)
+
+let alert_of_json j =
+  let* objective = str "objective" j in
+  let* severity = Result.bind (str "severity" j) severity_of_name in
+  let* observed_short = num "observed_short" j in
+  let* observed_long = num "observed_long" j in
+  let* budget = num "budget" j in
+  let* burn_short = num "burn_short" j in
+  let* burn_long = num "burn_long" j in
+  let* detail = str "detail" j in
+  Result.Ok
+    { objective; severity; observed_short; observed_long; budget; burn_short;
+      burn_long; detail }
+
+let of_json j =
+  let* spec =
+    match Json.member "spec" j with
+    | Some s -> spec_of_json s
+    | None -> Result.Error "missing field \"spec\""
+  in
+  let* at_tick = int_field "at_tick" j in
+  let* requests = int_field "requests" j in
+  let* alerts =
+    match Option.bind (Json.member "alerts" j) Json.get_arr with
+    | None -> Result.Error "missing or invalid field \"alerts\""
+    | Some items ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* a = alert_of_json item in
+          Result.Ok (a :: acc))
+        (Result.Ok []) items
+      |> Result.map List.rev
+  in
+  Result.Ok { spec; at_tick; requests; alerts }
+
+let render r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "SLO %s @ tick %d (%d requests in the long window): %s\n"
+       r.spec.name r.at_tick r.requests
+       (if ok r then "OK" else "VIOLATED"));
+  List.iter (fun a -> Buffer.add_string b (Printf.sprintf "  [%s] %s\n"
+                                             (String.uppercase_ascii (severity_name a.severity))
+                                             a.detail))
+    r.alerts;
+  Buffer.contents b

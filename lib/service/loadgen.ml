@@ -1,0 +1,206 @@
+(* Journal-replay load harness. See the interface for the determinism and
+   bounded-memory contracts; the short version is that every stochastic
+   choice (class sampling, jitter, error injection) draws from one
+   fixed-seed Util.Rng in request order, the logical clock is the request
+   index, and the latency fed to the telemetry windows is modeled - a
+   deterministic function of how the engine served the request - rather
+   than measured. *)
+
+type mix = { mix_label : string; mix_dsl : string; weight : int }
+
+let mix_of_journal entries =
+  let order = ref [] in
+  let by_dsl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Obs.Journal.entry) ->
+      match Hashtbl.find_opt by_dsl e.dsl with
+      | Some m -> m := { !m with weight = !m.weight + 1 }
+      | None ->
+        let m = ref { mix_label = e.label; mix_dsl = e.dsl; weight = 1 } in
+        Hashtbl.add by_dsl e.dsl m;
+        order := m :: !order)
+    entries;
+  List.rev_map (fun m -> !m) !order
+
+type config = {
+  requests : int;
+  seed : int;
+  batch : int;
+  error_rate : float;
+  jitter : float;
+  degrade : float;
+  hit_cost_s : float;
+  tune_base_s : float;
+  eval_cost_s : float;
+  window_width : int;
+  window_buckets : int;
+  slo : Obs.Slo.spec;
+  engine : Engine.config;
+}
+
+let default_config =
+  {
+    requests = 10_000;
+    seed = 7;
+    batch = 16;
+    error_rate = 0.001;
+    jitter = 0.25;
+    degrade = 1.0;
+    hit_cost_s = 2e-4;
+    tune_base_s = 1e-3;
+    eval_cost_s = 2e-3;
+    window_width = 250;
+    window_buckets = 8;
+    slo = Obs.Slo.default_spec;
+    engine = { Engine.default_config with reps = 3 };
+  }
+
+type result = {
+  cfg : config;
+  classes : mix list;
+  total : int;
+  errors : int;
+  served : (string * int) list;
+  ticks : int;
+  window : Obs.Window.t;
+  verdict : Obs.Slo.report;
+  metrics : Metrics.t;
+  wall_s : float;
+}
+
+(* Modeled service time of one response: hits cost a restore, deduplicated
+   requests ride a concurrent equivalent's work (half a hit), cold tunes
+   pay per evaluation. *)
+let model_latency cfg (r : Engine.response) =
+  match r.served with
+  | Engine.Tuned ->
+    cfg.tune_base_s +. (cfg.eval_cost_s *. float_of_int r.result.Autotune.Tuner.evaluations)
+  | Engine.Memory_hit | Engine.Disk_hit -> cfg.hit_cost_s
+  | Engine.Deduplicated -> cfg.hit_cost_s /. 2.0
+
+let run ?on_frame ?frame_every cfg classes =
+  if classes = [] then invalid_arg "Loadgen.run: empty request mix";
+  if cfg.requests < 1 then invalid_arg "Loadgen.run: requests must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  let rng = Util.Rng.create cfg.seed in
+  let svc = Engine.create ~config:cfg.engine () in
+  let window =
+    Obs.Window.create ~width:cfg.window_width ~buckets:cfg.window_buckets ()
+  in
+  let total_weight = List.fold_left (fun acc m -> acc + m.weight) 0 classes in
+  let pick () =
+    let w = Util.Rng.int rng total_weight in
+    let rec go acc = function
+      | [ m ] -> m
+      | m :: rest -> if w < acc + m.weight then m else go (acc + m.weight) rest
+      | [] -> assert false
+    in
+    go 0 classes
+  in
+  let errors = ref 0 in
+  let served = Hashtbl.create 8 in
+  let tick = ref (-1) in
+  let next_frame = ref (match frame_every with Some k -> k | None -> max_int) in
+  let remaining = ref cfg.requests in
+  while !remaining > 0 do
+    let n = min cfg.batch !remaining in
+    remaining := !remaining - n;
+    let reqs =
+      List.init n (fun _ ->
+          let m = pick () in
+          { Engine.label = m.mix_label; src = m.mix_dsl })
+    in
+    let responses = Engine.batch svc reqs in
+    List.iter
+      (fun (r : Engine.response) ->
+        Stdlib.incr tick;
+        let latency =
+          model_latency cfg r *. cfg.degrade
+          *. exp (cfg.jitter *. Util.Rng.gaussian rng)
+        in
+        let ok = not (Util.Rng.float rng 1.0 < cfg.error_rate) in
+        if not ok then Stdlib.incr errors;
+        let name = Engine.served_name r.served in
+        (match Hashtbl.find_opt served name with
+        | Some c -> Stdlib.incr c
+        | None -> Hashtbl.add served name (ref 1));
+        Obs.Window.observe window ~now:!tick ~ok latency;
+        if !tick + 1 >= !next_frame then begin
+          (match on_frame with Some f -> f window ~now:!tick | None -> ());
+          next_frame :=
+            !next_frame + (match frame_every with Some k -> k | None -> max_int)
+        end)
+      responses
+  done;
+  let verdict = Obs.Slo.evaluate cfg.slo window ~now:!tick in
+  {
+    cfg;
+    classes;
+    total = cfg.requests;
+    errors = !errors;
+    served =
+      Hashtbl.fold (fun name c acc -> (name, !c) :: acc) served []
+      |> List.sort compare;
+    ticks = !tick;
+    window;
+    verdict;
+    metrics = Engine.metrics svc;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let render r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "replayed %d requests (%d classes, seed %d) in %.2fs (%.0f req/s)\n"
+       r.total (List.length r.classes) r.cfg.seed r.wall_s
+       (float_of_int r.total /. Float.max 1e-9 r.wall_s));
+  List.iter
+    (fun m ->
+      Buffer.add_string b
+        (Printf.sprintf "  class %-16s weight %d\n" m.mix_label m.weight))
+    r.classes;
+  List.iter
+    (fun (name, n) -> Buffer.add_string b (Printf.sprintf "  served %-14s %d\n" name n))
+    r.served;
+  Buffer.add_string b
+    (Printf.sprintf "  injected errors: %d (%.3f%%)\n" r.errors
+       (100.0 *. float_of_int r.errors /. float_of_int r.total));
+  Buffer.add_string b (Obs.Window.render r.window ~now:r.ticks);
+  Buffer.add_string b (Obs.Slo.render r.verdict);
+  Buffer.contents b
+
+let report_json r =
+  let snap = Obs.Window.snapshot r.window ~now:r.ticks in
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.int 1);
+      ("requests", Obs.Json.int r.total);
+      ("seed", Obs.Json.int r.cfg.seed);
+      ("batch", Obs.Json.int r.cfg.batch);
+      ("errors", Obs.Json.int r.errors);
+      ( "classes",
+        Obs.Json.Arr
+          (List.map
+             (fun m ->
+               Obs.Json.Obj
+                 [
+                   ("label", Obs.Json.Str m.mix_label);
+                   ("weight", Obs.Json.int m.weight);
+                 ])
+             r.classes) );
+      ( "served",
+        Obs.Json.Obj (List.map (fun (name, n) -> (name, Obs.Json.int n)) r.served) );
+      ( "window",
+        Obs.Json.Obj
+          [
+            ("ticks", Obs.Json.int snap.ticks);
+            ("requests", Obs.Json.int snap.requests);
+            ("error_ratio", Obs.Json.Num snap.error_ratio);
+            ("rate_per_tick", Obs.Json.Num snap.rate);
+            ("p50_s", Obs.Json.Num (Obs.Window.quantile snap 50.0));
+            ("p90_s", Obs.Json.Num (Obs.Window.quantile snap 90.0));
+            ("p99_s", Obs.Json.Num (Obs.Window.quantile snap 99.0));
+            ("sketch_buckets", Obs.Json.int (Obs.Sketch.bucket_count snap.sketch));
+          ] );
+      ("slo", Obs.Slo.to_json r.verdict);
+    ]

@@ -1,0 +1,85 @@
+(** Journal-replay load harness: drive {!Engine} with a realistic request
+    mix recorded by the tuning flight recorder, feed the resulting stream
+    through {!Obs.Window}, and emit a final {!Obs.Slo} verdict.
+
+    Arrival mix: each journal entry contributes one request class (its
+    label and recorded canonical DSL); duplicate DSLs merge, weights count
+    occurrences. The replay samples classes by weight from a fixed-seed
+    {!Util.Rng} and serves them through a real {!Engine} in batches, so
+    the stream exercises the actual serve path - cold tunes, cache hits,
+    in-batch deduplication (single-flight coalescing).
+
+    Determinism: the logical clock is the request index (one tick per
+    request, no wall-clock reads on the hot path), and the latency fed to
+    the windows is a documented deterministic model of service time - a
+    per-serve-class base cost ([hit_cost_s], or [tune_base_s +
+    eval_cost_s * evaluations] for cold tunes) times fixed-seed lognormal
+    jitter - not a wall-clock measurement. Engine results are themselves
+    deterministic for a fixed seed, so a replay is bit-identical across
+    runs: {!report_json} excludes wall time for exactly this reason.
+    Errors are injected with probability [error_rate] from the same RNG so
+    the error-budget side of the SLO is exercised.
+
+    Memory is bounded: window state is O(buckets) sketches and the engine
+    metrics retain at most {!Metrics.raw_sample_cap} raw samples per
+    timer, so replaying 10^4-10^6 requests does not grow storage with the
+    request count. *)
+
+type mix = { mix_label : string; mix_dsl : string; weight : int }
+
+(** One class per distinct recorded DSL, weighted by occurrence count,
+    in first-appearance order. Empty journals yield []. *)
+val mix_of_journal : Obs.Journal.entry list -> mix list
+
+type config = {
+  requests : int;  (** total requests to replay *)
+  seed : int;  (** arrival sampling, jitter and error injection *)
+  batch : int;  (** requests per {!Engine.batch} call *)
+  error_rate : float;  (** injected failure probability per request *)
+  jitter : float;  (** lognormal sigma of the latency model *)
+  degrade : float;  (** latency multiplier; >1 simulates a regression *)
+  hit_cost_s : float;  (** modeled service cost of a cache hit *)
+  tune_base_s : float;  (** modeled fixed cost of a cold tune *)
+  eval_cost_s : float;  (** modeled cost per SURF evaluation *)
+  window_width : int;  (** logical ticks per window epoch *)
+  window_buckets : int;  (** epochs in the window ring *)
+  slo : Obs.Slo.spec;
+  engine : Engine.config;
+}
+
+(** 10^4 requests, seed 7, batches of 16, 0.1% injected errors, jitter
+    0.25, 250-tick epochs in an 8-slot ring, {!Obs.Slo.default_spec}, and
+    a default engine with [reps = 3] (restores are re-measured cheaply). *)
+val default_config : config
+
+type result = {
+  cfg : config;
+  classes : mix list;
+  total : int;  (** requests actually replayed *)
+  errors : int;  (** injected failures *)
+  served : (string * int) list;  (** serve-class name -> count, sorted *)
+  ticks : int;  (** final logical tick (= total - 1) *)
+  window : Obs.Window.t;
+  verdict : Obs.Slo.report;  (** evaluated at the final tick *)
+  metrics : Metrics.t;  (** the engine's metrics registry *)
+  wall_s : float;  (** real wall time of the replay (not in the JSON) *)
+}
+
+(** Run the replay. [on_frame] (with [frame_every] ticks, default none)
+    is called during the replay for live dashboards. Raises
+    [Invalid_argument] on an empty mix or a non-positive request count. *)
+val run :
+  ?on_frame:(Obs.Window.t -> now:int -> unit) ->
+  ?frame_every:int ->
+  config ->
+  mix list ->
+  result
+
+(** Human-readable summary: mix, serve counts, window dashboard, SLO
+    verdict, throughput. *)
+val render : result -> string
+
+(** Machine-readable report for CI: config echo, class mix, serve counts,
+    window-tail quantiles and the SLO verdict. Deterministic for a fixed
+    seed (no wall times, no timestamps). *)
+val report_json : result -> Obs.Json.t

@@ -1,12 +1,38 @@
 (* Service metrics: named counters and wall-clock timers with
    latency-histogram rendering. Domain-safe behind one mutex (updates are
-   tiny; contention is irrelevant next to a tuning evaluation), summarized
-   through Util.Stats so the service reports the same statistics the rest
-   of the system uses. *)
+   tiny; contention is irrelevant next to a tuning evaluation).
+
+   Timers are streaming: each observation updates O(1) state (count, total,
+   sum of squares, min/max, a decade-bucket histogram) plus an Obs.Sketch
+   log-bucket quantile sketch, and is retained raw only up to
+   [raw_sample_cap] samples (a ring of the most recent). Summaries are
+   therefore exact - computed from the raw samples through Util.Stats -
+   while a timer has seen at most [raw_sample_cap] observations, and
+   switch to the streaming state plus sketch quantiles (relative error
+   [sketch_alpha]) beyond it. Memory per timer is O(raw_sample_cap +
+   sketch buckets), never O(observations). *)
+
+let raw_sample_cap = 1024
+let sketch_alpha = 0.01
+
+(* Fixed decade buckets: service latencies span microseconds (cache hits)
+   to tens of seconds (cold tunes). *)
+let bucket_bounds = [ 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 ]
+
+type timer = {
+  ring : float array;  (* the raw_sample_cap most recent samples *)
+  mutable n : int;  (* total observations ever *)
+  mutable total : float;
+  mutable total_sq : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  sketch : Obs.Sketch.t;
+  decades : int array;  (* one streaming counter per decade bucket *)
+}
 
 type t = {
   counters : (string, int ref) Hashtbl.t;
-  timers : (string, float list ref) Hashtbl.t;  (* seconds, newest first *)
+  timers : (string, timer) Hashtbl.t;
   lock : Mutex.t;
 }
 
@@ -22,11 +48,46 @@ let incr ?(by = 1) t name =
       | Some r -> r := !r + by
       | None -> Hashtbl.add t.counters name (ref by))
 
+let new_timer () =
+  {
+    ring = Array.make raw_sample_cap 0.0;
+    n = 0;
+    total = 0.0;
+    total_sq = 0.0;
+    vmin = infinity;
+    vmax = neg_infinity;
+    sketch = Obs.Sketch.create ~alpha:sketch_alpha ();
+    decades = Array.make (List.length bucket_bounds + 1) 0;
+  }
+
+(* Decade bucket of one sample: [lo, hi) semantics with an unbounded last
+   bucket, matching the rendered histogram labels. *)
+let decade_index seconds =
+  let rec go i = function
+    | hi :: rest -> if seconds < hi then i else go (i + 1) rest
+    | [] -> i
+  in
+  go 0 bucket_bounds
+
 let observe t name seconds =
   locked t (fun () ->
-      match Hashtbl.find_opt t.timers name with
-      | Some r -> r := seconds :: !r
-      | None -> Hashtbl.add t.timers name (ref [ seconds ]))
+      let tm =
+        match Hashtbl.find_opt t.timers name with
+        | Some tm -> tm
+        | None ->
+          let tm = new_timer () in
+          Hashtbl.add t.timers name tm;
+          tm
+      in
+      tm.ring.(tm.n mod raw_sample_cap) <- seconds;
+      tm.n <- tm.n + 1;
+      tm.total <- tm.total +. seconds;
+      tm.total_sq <- tm.total_sq +. (seconds *. seconds);
+      if seconds < tm.vmin then tm.vmin <- seconds;
+      if seconds > tm.vmax then tm.vmax <- seconds;
+      Obs.Sketch.add tm.sketch seconds;
+      let d = tm.decades in
+      d.(decade_index seconds) <- d.(decade_index seconds) + 1)
 
 let time t name f =
   let t0 = Unix.gettimeofday () in
@@ -41,9 +102,19 @@ let counters t =
       Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
       |> List.sort compare)
 
+(* Retained raw samples, oldest first: everything while n <= cap, the most
+   recent cap afterwards. *)
+let retained tm =
+  if tm.n <= raw_sample_cap then Array.to_list (Array.sub tm.ring 0 tm.n)
+  else begin
+    let head = tm.n mod raw_sample_cap in
+    Array.to_list (Array.sub tm.ring head (raw_sample_cap - head))
+    @ Array.to_list (Array.sub tm.ring 0 head)
+  end
+
 let observations t name =
   locked t (fun () ->
-      match Hashtbl.find_opt t.timers name with Some r -> List.rev !r | None -> [])
+      match Hashtbl.find_opt t.timers name with Some tm -> retained tm | None -> [])
 
 type timer_summary = {
   count : int;
@@ -57,36 +128,68 @@ type timer_summary = {
   stddev_s : float;
 }
 
-let summarize_timer samples =
-  {
-    count = List.length samples;
-    total_s = List.fold_left ( +. ) 0.0 samples;
-    mean_s = Util.Stats.mean samples;
-    median_s = Util.Stats.median samples;
-    p90_s = Util.Stats.percentile 90.0 samples;
-    p99_s = Util.Stats.percentile 99.0 samples;
-    min_s = Util.Stats.min_list samples;
-    max_s = Util.Stats.max_list samples;
-    stddev_s = Util.Stats.stddev samples;
-  }
+let summarize_timer tm =
+  if tm.n = 0 then
+    { count = 0; total_s = 0.0; mean_s = nan; median_s = nan; p90_s = nan;
+      p99_s = nan; min_s = nan; max_s = nan; stddev_s = 0.0 }
+  else if tm.n <= raw_sample_cap then
+    (* exact small-n path: identical to summarizing the full history *)
+    let samples = retained tm in
+    {
+      count = tm.n;
+      total_s = tm.total;
+      mean_s = Util.Stats.mean samples;
+      median_s = Util.Stats.median samples;
+      p90_s = Util.Stats.percentile 90.0 samples;
+      p99_s = Util.Stats.percentile 99.0 samples;
+      min_s = tm.vmin;
+      max_s = tm.vmax;
+      stddev_s = Util.Stats.stddev samples;
+    }
+  else
+    (* streaming path: O(1) moments plus sketch quantiles *)
+    let n = float_of_int tm.n in
+    let mean = tm.total /. n in
+    {
+      count = tm.n;
+      total_s = tm.total;
+      mean_s = mean;
+      median_s = Obs.Sketch.quantile tm.sketch 50.0;
+      p90_s = Obs.Sketch.quantile tm.sketch 90.0;
+      p99_s = Obs.Sketch.quantile tm.sketch 99.0;
+      min_s = tm.vmin;
+      max_s = tm.vmax;
+      stddev_s = sqrt (Float.max 0.0 ((tm.total_sq /. n) -. (mean *. mean)));
+    }
 
 let summaries t =
   locked t (fun () ->
-      Hashtbl.fold (fun name r acc -> (name, summarize_timer (List.rev !r)) :: acc) t.timers []
+      Hashtbl.fold (fun name tm acc -> (name, summarize_timer tm) :: acc) t.timers []
       |> List.sort compare)
 
 let all_observations t =
   locked t (fun () ->
-      Hashtbl.fold (fun name r acc -> (name, List.rev !r) :: acc) t.timers []
+      Hashtbl.fold (fun name tm acc -> (name, retained tm) :: acc) t.timers []
       |> List.sort compare)
 
-(* Prometheus text exposition of everything in the registry. *)
-let prometheus ?prefix t =
-  Obs.Export.prometheus ?prefix ~counters:(counters t) ~timers:(all_observations t) ()
+let quantile t name p =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.timers name with
+      | Some tm -> Obs.Sketch.quantile tm.sketch p
+      | None -> nan)
 
-(* Fixed decade buckets: service latencies span microseconds (cache hits)
-   to tens of seconds (cold tunes). *)
-let bucket_bounds = [ 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 ]
+let sketches t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name tm acc -> (name, Obs.Sketch.copy tm.sketch) :: acc)
+        t.timers []
+      |> List.sort compare)
+
+(* Prometheus text exposition: counters plus native histograms sourced
+   from the sketches (O(buckets) per timer, independent of traffic). *)
+let prometheus ?prefix t =
+  let cs = counters t and sk = sketches t in
+  Obs.Export.prometheus_sketches ?prefix ~counters:cs ~sketches:sk ()
 
 let bucket_label lo hi =
   let s v =
@@ -100,25 +203,22 @@ let bucket_label lo hi =
   | Some l, None -> ">=" ^ s l
   | None, None -> "all"
 
-let histogram t name =
-  let samples = observations t name in
-  let edges =
-    (None :: List.map Option.some bucket_bounds)
-    @ [ Some infinity ]
-  in
-  let rec buckets = function
-    | lo :: (hi :: _ as rest) ->
-      let in_bucket x =
-        (match lo with None -> true | Some l -> x >= l)
-        && match hi with Some h -> x < h | None -> true
-      in
-      let hi_label = match hi with Some h when h = infinity -> None | h -> h in
-      ( bucket_label lo hi_label,
-        List.length (List.filter in_bucket samples) )
-      :: buckets rest
+let bucket_labels =
+  let edges = (None :: List.map Option.some bucket_bounds) @ [ None ] in
+  let rec go = function
+    | lo :: (hi :: _ as rest) -> bucket_label lo hi :: go rest
     | _ -> []
   in
-  buckets edges
+  go edges
+
+let histogram t name =
+  let counts =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.timers name with
+        | Some tm -> Array.to_list tm.decades
+        | None -> List.map (fun _ -> 0) bucket_labels)
+  in
+  List.combine bucket_labels counts
 
 let render t =
   let b = Buffer.create 512 in

@@ -1,8 +1,23 @@
 (** Service metrics: named counters and wall-clock timers with decade
-    latency histograms, summarized through {!Util.Stats}. All operations
-    are domain-safe. *)
+    latency histograms. All operations are domain-safe.
+
+    Timers are streaming: every observation updates O(1) state (count,
+    total, sum of squares, min/max, decade histogram) plus an {!Obs.Sketch}
+    quantile sketch; only the most recent {!raw_sample_cap} raw samples are
+    retained, so a timer's memory is bounded no matter how long the
+    service runs. Summaries are exact (via {!Util.Stats}) up to the cap
+    and switch to streaming moments + sketch quantiles beyond it. *)
 
 type t
+
+(** Raw samples retained per timer (1024). At or below this count,
+    {!summaries} is exact over the full history; beyond it, quantiles come
+    from the sketch (relative error {!sketch_alpha}) and the other fields
+    from exact streaming state. *)
+val raw_sample_cap : int
+
+(** Relative accuracy of the per-timer quantile sketches (0.01). *)
+val sketch_alpha : float
 
 val create : unit -> t
 
@@ -20,33 +35,44 @@ val counter : t -> string -> int
 (** All counters, sorted by name. *)
 val counters : t -> (string * int) list
 
-(** All recorded durations of a timer, oldest first. *)
+(** Retained raw durations of a timer, oldest first: the full history up
+    to {!raw_sample_cap} observations, the most recent cap afterwards. *)
 val observations : t -> string -> float list
 
 type timer_summary = {
-  count : int;
+  count : int;  (** observations ever, not capped *)
   total_s : float;
   mean_s : float;
   median_s : float;
-  p90_s : float;  (** {!Util.Stats.percentile} 90 *)
-  p99_s : float;  (** {!Util.Stats.percentile} 99 *)
+  p90_s : float;
+  p99_s : float;
   min_s : float;
   max_s : float;
-  stddev_s : float;
+  stddev_s : float;  (** population, like {!Util.Stats.stddev} *)
 }
 
 val summaries : t -> (string * timer_summary) list
 
-(** All timers with their recorded durations, oldest first, sorted by name. *)
+(** All timers with their retained durations, oldest first, sorted by
+    name (see {!observations} for the cap semantics). *)
 val all_observations : t -> (string * float list) list
 
-(** Prometheus text exposition of all counters and timers
-    (see {!Obs.Export.prometheus}). *)
+(** Sketch-estimated quantile of a timer, [p] in [0, 100]; [nan] for an
+    unknown timer. *)
+val quantile : t -> string -> float -> float
+
+(** Independent copies of the per-timer quantile sketches, sorted by
+    name - the source for native-histogram exposition. *)
+val sketches : t -> (string * Obs.Sketch.t) list
+
+(** Prometheus text exposition: counters plus native histograms
+    ([_bucket]/[le] lines) sourced from the timer sketches
+    (see {!Obs.Export.prometheus_sketches}). *)
 val prometheus : ?prefix:string -> t -> string
 
 (** Decade buckets from 100us to 10s: [("<100us", n); ...; (">=10s", n)].
-    Cache hits land in the microsecond buckets, cold tunes in the second
-    buckets. *)
+    Counts are streaming (never capped); cache hits land in the
+    microsecond buckets, cold tunes in the second buckets. *)
 val histogram : t -> string -> (string * int) list
 
 (** Human-readable report: counters, timer summaries, histograms. *)

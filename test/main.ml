@@ -31,4 +31,5 @@ let () =
       ("journal", Test_journal.suite);
       ("check", Test_check.suite);
       ("netopt", Test_netopt.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
