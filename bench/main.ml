@@ -8,7 +8,7 @@
 
    Experiments (none = all, in the order below):
      claims space table2 table3 table4 figure3 surf-vs-brute ablation
-     modelcheck motivation sweep service netopt telemetry bechamel
+     modelcheck motivation sweep service netopt telemetry drift bechamel
 
    Flags compose with any experiment selection; unknown --flags are an
    error, not a silently ignored subcommand:
@@ -43,7 +43,7 @@ let default_options =
 let experiment_names =
   [ "claims"; "space"; "table2"; "table3"; "table4"; "figure3"; "surf-vs-brute";
     "ablation"; "modelcheck"; "motivation"; "sweep"; "service"; "netopt";
-    "telemetry"; "bechamel" ]
+    "telemetry"; "drift"; "bechamel" ]
 
 let usage () =
   Printf.eprintf
@@ -217,6 +217,54 @@ let telemetry_table () =
 
 let run_telemetry () = table "telemetry" telemetry_table
 
+(* Change-point detectors: detection delay (ticks from the injected shift
+   to the first alarm) per detector and shift size on a fixed-seed
+   lognormal stream. Small shifts inside a detector's tolerance band are
+   expected to stay silent - that row prints "-", documenting the band. *)
+let drift_table () =
+  let shift_at = 1_000 and horizon = 3_000 in
+  let detectors =
+    [
+      (fun () -> Obs.Drift.page_hinkley ~delta:0.3 "page-hinkley");
+      (fun () -> Obs.Drift.cusum ~ref_count:500 "cusum");
+      (fun () ->
+        Obs.Drift.quantile_shift ~window:250 ~ref_windows:2 "quantile-shift");
+    ]
+  in
+  let row mk shift =
+    let m = mk () in
+    let rng = Util.Rng.create 11 in
+    let first = ref None in
+    for t = 0 to horizon - 1 do
+      let base = if t < shift_at then 1.0 else shift in
+      let v = base *. exp (0.1 *. Util.Rng.gaussian rng) in
+      match Obs.Drift.observe m ~tick:t v with
+      | Some a when !first = None -> first := Some a
+      | _ -> ()
+    done;
+    [ Obs.Drift.name m;
+      Printf.sprintf "%gx" shift;
+      (match !first with
+      | Some a -> string_of_int (a.Obs.Drift.at_tick - shift_at)
+      | None -> "-");
+      (match !first with
+      | Some a -> Printf.sprintf "%.3g" a.Obs.Drift.statistic
+      | None -> "-") ]
+  in
+  let rows =
+    List.concat_map
+      (fun mk -> List.map (row mk) [ 1.5; 2.0; 4.0 ])
+      detectors
+  in
+  Util.Table.create
+    ~title:
+      (Printf.sprintf
+         "Change-point detection delay (shift injected at tick %d, seed 11)"
+         shift_at)
+    ([ "detector"; "shift"; "delay (ticks)"; "statistic" ] :: rows)
+
+let run_drift () = table "drift" drift_table
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure, each running a
    reduced-size regeneration of that experiment's pipeline so that several
@@ -285,6 +333,21 @@ let bench_telemetry () =
     Service.Metrics.observe m "bench" (1e-4 *. exp (Util.Rng.gaussian rng))
   done
 
+let bench_drift () =
+  (* the monitor observe path: registry dispatch, running moments, one
+     sketch insertion per quantile-shift observation *)
+  let r = Obs.Drift.create_registry () in
+  Obs.Drift.register r (Obs.Drift.page_hinkley "ph");
+  Obs.Drift.register r (Obs.Drift.cusum ~ref_count:500 "cu");
+  Obs.Drift.register r (Obs.Drift.quantile_shift ~window:250 "qs");
+  let rng = Util.Rng.create 3 in
+  for t = 0 to 2047 do
+    let v = exp (0.1 *. Util.Rng.gaussian rng) in
+    List.iter
+      (fun m -> ignore (Obs.Drift.observe m ~tick:t v))
+      (Obs.Drift.monitors r)
+  done
+
 let bechamel_tests =
   let open Bechamel in
   [
@@ -297,6 +360,7 @@ let bechamel_tests =
     Test.make ~name:"surf-vs-brute:model-search" (Staged.stage bench_surf_brute);
     Test.make ~name:"netopt:treesa-line12" (Staged.stage bench_netopt);
     Test.make ~name:"telemetry:metrics-observe" (Staged.stage bench_telemetry);
+    Test.make ~name:"drift:observe" (Staged.stage bench_drift);
   ]
 
 let clock_label = "monotonic-clock"
@@ -367,6 +431,7 @@ let runners =
     ("service", run_service);
     ("netopt", run_netopt);
     ("telemetry", run_telemetry);
+    ("drift", run_drift);
     ("bechamel", run_bechamel);
   ]
 

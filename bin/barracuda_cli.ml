@@ -1022,7 +1022,16 @@ let cmd_history =
       & info [ "since" ] ~docv:"RUN"
           ~doc:"Show only the runs recorded after RUN (id or unique prefix).")
   in
-  let run () journal tail since =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the history as a JSON array (one summary object per run: \
+             ids, key, arch, seed, winner time and kernel hash) instead of \
+             the table.")
+  in
+  let run () journal tail since json =
     let entries = load_journal journal in
     let entries =
       match since with
@@ -1044,14 +1053,20 @@ let cmd_history =
         let len = List.length entries in
         List.filteri (fun i _ -> i >= len - n) entries
     in
-    print_string (Obs.Journal.render_history entries)
+    if json then
+      print_endline
+        (Obs.Json.to_string ~indent:true (Obs.Journal.history_json entries))
+    else print_string (Obs.Journal.render_history entries)
   in
   Cmd.v
     (Cmd.info "history"
        ~doc:
          "List the runs recorded in a tuning journal: all of them, the most \
-          recent N (--tail), or the ones after a given run (--since).")
-    Term.(const run $ setup_logs $ journal_file_arg $ tail_arg $ since_arg)
+          recent N (--tail), or the ones after a given run (--since); \
+          --json emits machine-readable summaries instead.")
+    Term.(
+      const run $ setup_logs $ journal_file_arg $ tail_arg $ since_arg
+      $ json_arg)
 
 let cmd_explain =
   let run () journal run_id =
@@ -1135,6 +1150,24 @@ let loadgen_config_term =
       & info [ "degrade" ] ~docv:"X"
           ~doc:"Latency-model multiplier; >1 simulates a regression (default 1).")
   in
+  let degrade_at =
+    Arg.(
+      value & opt int 0
+      & info [ "degrade-at" ] ~docv:"TICK"
+          ~doc:
+            "First tick the --degrade multiplier applies to; 0 degrades the \
+             whole run, a mid-run tick injects a regression the change-point \
+             monitors must catch (default 0).")
+  in
+  let monitor =
+    Arg.(
+      value & flag
+      & info [ "monitor" ]
+          ~doc:
+            "Attach online change-point monitors to the latency stream (p99 \
+             quantile-shift and mean CUSUM, self-calibrated from the early \
+             windows); alarms are reported and make loadgen exit nonzero.")
+  in
   let p99_budget =
     Arg.(
       value & opt float Obs.Slo.default_spec.latency_budget_s
@@ -1165,8 +1198,8 @@ let loadgen_config_term =
       & info [ "reps" ] ~docv:"N"
           ~doc:"Measurement repetitions per cold-tune evaluation (default 3).")
   in
-  let mk arch seed evals reps requests batch error_rate degrade p99 err_obj width
-      buckets =
+  let mk arch seed evals reps requests batch error_rate degrade degrade_at
+      monitor p99 err_obj width buckets =
     let base = Service.Loadgen.default_config in
     {
       base with
@@ -1175,6 +1208,8 @@ let loadgen_config_term =
       batch;
       error_rate;
       degrade;
+      degrade_at;
+      monitor;
       window_width = width;
       window_buckets = buckets;
       slo =
@@ -1188,8 +1223,8 @@ let loadgen_config_term =
   in
   Term.(
     const mk $ arch_arg $ seed_arg $ evals_arg $ reps_arg $ requests $ batch
-    $ error_rate $ degrade $ p99_budget $ error_objective $ window_width
-    $ window_buckets)
+    $ error_rate $ degrade $ degrade_at $ monitor $ p99_budget
+    $ error_objective $ window_width $ window_buckets)
 
 let load_mix journal =
   let mix = Service.Loadgen.mix_of_journal (load_journal journal) in
@@ -1221,14 +1256,15 @@ let cmd_loadgen =
         (Obs.Json.to_string ~indent:true (Service.Loadgen.report_json r));
       Printf.printf "wrote replay report to %s\n" path
     | None -> ());
-    if not (Obs.Slo.ok r.verdict) then exit 1
+    if not (Obs.Slo.ok r.verdict) || r.alarms <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
          "Replay the request mix recorded in a tuning journal against a real \
           engine, stream the modeled latencies through sliding telemetry \
-          windows, and exit nonzero if the final SLO verdict pages.")
+          windows, and exit nonzero if the final SLO verdict pages or (with \
+          --monitor) a change-point monitor alarms.")
     Term.(const run $ setup_logs $ journal_file_arg $ loadgen_config_term $ out_arg)
 
 let cmd_slo =
@@ -1285,6 +1321,89 @@ let cmd_dash =
           sparkline) plus the final SLO verdict.")
     Term.(const run $ setup_logs $ journal_file_arg $ loadgen_config_term $ frames_arg)
 
+let cmd_doctor =
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"FILE"
+          ~doc:
+            "Benchmark artifact (BENCH_*.json) to correlate: service \
+             quantiles already over the SLO budget corroborate a paged \
+             verdict.")
+  in
+  let slo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"FILE"
+          ~doc:
+            "Replay report written by 'loadgen --out' (SLO verdict, drift \
+             alarms, serve counts) or a bare SLO report.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable health report.")
+  in
+  let mispredict_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "mispredict-threshold" ] ~docv:"R"
+          ~doc:
+            "Mean |predicted/measured - 1| above which a run's surrogate \
+             counts as drifted (default 0.5).")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "time-tolerance" ] ~docv:"R"
+          ~doc:
+            "Winner-time ratio slack before a diverging lineage counts as a \
+             critical kernel regression (default 0.25).")
+  in
+  let run () journal bench slo json mispredict_threshold time_tolerance =
+    let entries, discarded = Obs.Journal.load journal in
+    let bench =
+      match bench with
+      | None -> None
+      | Some path -> (
+        match Obs.Bench_log.read path with
+        | Ok a -> Some a
+        | Error msg -> failwith (Printf.sprintf "%s: %s" path msg))
+    in
+    let load =
+      match slo with
+      | None -> None
+      | Some path -> (
+        match Obs.Json.parse (Util.Fs.read_file path) with
+        | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+        | Ok j -> (
+          match Obs.Doctor.load_of_json j with
+          | Ok l -> Some l
+          | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)))
+    in
+    let report =
+      Obs.Doctor.diagnose ~mispredict_threshold ~time_tolerance
+        { Obs.Doctor.journal = entries; discarded; bench; load; extra_alarms = [] }
+    in
+    if json then
+      print_endline (Obs.Json.to_string ~indent:true (Obs.Doctor.to_json report))
+    else print_string (Obs.Doctor.render report);
+    if Obs.Doctor.has_critical report then exit 1
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Correlate a tuning journal, a benchmark artifact and a replay/SLO \
+          report into a health report: paged SLOs and change-point alarms \
+          are attributed to ranked suspects (arch change, kernel regression \
+          at the earliest diverging lineage stage, surrogate drift, cache \
+          eviction). Exits nonzero on a critical finding.")
+    Term.(
+      const run $ setup_logs $ journal_file_arg $ bench_arg $ slo_arg
+      $ json_arg $ mispredict_arg $ tolerance_arg)
+
 (* ---------------- main ---------------- *)
 
 (* One-line-per-subcommand usage screen, shown on bare invocation and on
@@ -1314,6 +1433,7 @@ let subcommands =
     ("loadgen", "replay a journal's request mix; exit nonzero on SLO breach");
     ("slo", "render the SLO verdict of a saved replay report");
     ("dash", "replay with a live text dashboard of the telemetry window");
+    ("doctor", "correlate journal/bench/SLO artifacts into a health report");
   ]
 
 let usage_screen =
@@ -1338,7 +1458,7 @@ let () =
       [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
         cmd_driver; cmd_c; cmd_inspect; cmd_check; cmd_batch; cmd_stats; cmd_trace;
         cmd_report; cmd_profile; cmd_net; cmd_archs; cmd_history; cmd_explain;
-        cmd_replay; cmd_loadgen; cmd_slo; cmd_dash ]
+        cmd_replay; cmd_loadgen; cmd_slo; cmd_dash; cmd_doctor ]
   in
   match Array.to_list Sys.argv with
   | [ _ ] | _ :: ("--help" | "-h" | "help") :: _ ->

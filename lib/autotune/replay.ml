@@ -74,14 +74,9 @@ let replay ?prune ?(time_tolerance = 0.05) ~arch (recorded : Obs.Journal.entry) 
            (List.length es))
   end
 
-(* Where the lineages first diverge, for the drift report. *)
-let first_divergence (a : Obs.Journal.lineage) (b : Obs.Journal.lineage) =
-  if a.dsl_hash <> b.dsl_hash then Some "dsl"
-  else if a.variant_hash <> b.variant_hash then Some "variant"
-  else if a.tcr_hash <> b.tcr_hash then Some "tcr"
-  else if a.recipe_hash <> b.recipe_hash then Some "recipe"
-  else if a.kernel_hash <> b.kernel_hash then Some "kernel"
-  else None
+(* Where the lineages first diverge, for the drift report. The logic lives
+   in Obs.Journal (next to the lineage type) so Obs.Doctor can share it. *)
+let first_divergence = Obs.Journal.first_divergence
 
 let render v =
   let b = Buffer.create 256 in

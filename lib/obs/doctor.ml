@@ -1,0 +1,481 @@
+(* Cross-artifact root-cause correlator. Pure over its inputs: every
+   finding and score is a deterministic function of the journal entries,
+   bench artifact, load report and alarms handed in, so the same artifacts
+   produce a bit-identical report (the CI smoke relies on this). *)
+
+let spf = Printf.sprintf
+
+type severity = Critical | Warning | Info
+
+let severity_name = function
+  | Critical -> "critical"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Critical -> 0 | Warning -> 1 | Info -> 2
+
+type finding = {
+  code : string;
+  severity : severity;
+  subject : string;
+  stage : string option;
+  suspects : (string * float) list;
+  detail : string;
+}
+
+type load = {
+  slo : Slo.report option;
+  alarms : Drift.alarm list;
+  served : (string * int) list;
+  load_classes : int;
+}
+
+let load_of_json j =
+  match Json.member "slo" j with
+  | Some slo_j -> (
+    (* full loadgen report *)
+    match Slo.of_json slo_j with
+    | Error e -> Error (spf "bad slo member: %s" e)
+    | Ok slo ->
+      let alarms =
+        match
+          Option.bind (Json.member "drift" j) (Json.member "alarms")
+          |> Fun.flip Option.bind Json.get_arr
+        with
+        | None -> []
+        | Some l -> List.filter_map Drift.alarm_of_json l
+      in
+      let served =
+        match Json.member "served" j with
+        | Some (Json.Obj kvs) ->
+          List.filter_map
+            (fun (k, v) ->
+              Option.map (fun n -> (k, int_of_float n)) (Json.get_num v))
+            kvs
+        | _ -> []
+      in
+      let load_classes =
+        match Option.bind (Json.member "classes" j) Json.get_arr with
+        | Some l -> List.length l
+        | None -> 0
+      in
+      Ok { slo = Some slo; alarms; served; load_classes })
+  | None -> (
+    (* bare SLO report *)
+    match Slo.of_json j with
+    | Ok slo -> Ok { slo = Some slo; alarms = []; served = []; load_classes = 0 }
+    | Error e -> Error e)
+
+type inputs = {
+  journal : Journal.entry list;
+  discarded : int;
+  bench : Bench_log.artifact option;
+  load : load option;
+  extra_alarms : Drift.alarm list;
+}
+
+let no_inputs =
+  { journal = []; discarded = 0; bench = None; load = None; extra_alarms = [] }
+
+type report = {
+  runs : int;
+  keys : int;
+  archs : int;
+  findings : finding list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* journal groupings *)
+
+(* The canonical service key embeds the arch fingerprint, so grouping by
+   it would hide arch changes; the canonical DSL source is the identity
+   that survives a device swap. *)
+let group_id (e : Journal.entry) = e.dsl
+
+let uniq xs = List.sort_uniq compare xs
+
+(* (group id, entries in file order) with first-appearance group order *)
+let groups entries =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let id = group_id e in
+      match Hashtbl.find_opt tbl id with
+      | Some l -> l := e :: !l
+      | None ->
+        let l = ref [ e ] in
+        Hashtbl.add tbl id l;
+        order := id :: !order)
+    entries;
+  List.rev_map (fun id -> (id, List.rev !(Hashtbl.find tbl id))) !order
+
+let subject_of = function
+  | (e : Journal.entry) :: _ -> e.label
+  | [] -> "?"
+
+(* Mean |predicted/measured - 1| over a run's model-guided variants; None
+   when the run had no usable predictions. *)
+let mispredict (e : Journal.entry) =
+  let rs =
+    List.filter_map
+      (fun (v : Journal.variant) ->
+        match v.predicted with
+        | Some p when v.measured > 0. ->
+          Some (Float.abs ((p /. v.measured) -. 1.))
+        | _ -> None)
+      e.variants
+  in
+  match rs with
+  | [] -> None
+  | _ ->
+    Some (List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs))
+
+(* ------------------------------------------------------------------ *)
+(* checks; each returns findings in a deterministic order *)
+
+let check_arch_changes gs =
+  List.filter_map
+    (fun (_, entries) ->
+      let archs = uniq (List.map (fun (e : Journal.entry) -> e.arch) entries) in
+      if List.length archs < 2 then None
+      else
+        Some
+          {
+            code = "DR010";
+            severity = Warning;
+            subject = subject_of entries;
+            stage = None;
+            suspects = [ ("arch-change", 1.0) ];
+            detail =
+              spf "key %s tuned under %d arch fingerprints (%s)"
+                (subject_of entries) (List.length archs)
+                (String.concat ", " (List.map Journal.arch_name archs));
+          })
+    gs
+
+let check_kernel_drift ~time_tolerance gs =
+  List.concat_map
+    (fun (_, entries) ->
+      let archs = uniq (List.map (fun (e : Journal.entry) -> e.arch) entries) in
+      List.concat_map
+        (fun arch ->
+          let runs =
+            List.filter (fun (e : Journal.entry) -> e.arch = arch) entries
+          in
+          let rec pairs = function
+            | (a : Journal.entry) :: (b : Journal.entry) :: rest -> (
+              match
+                Journal.first_divergence a.winner.lineage b.winner.lineage
+              with
+              | None -> pairs (b :: rest)
+              | Some stage ->
+                let ratio =
+                  if a.winner.measured <= 0. then infinity
+                  else b.winner.measured /. a.winner.measured
+                in
+                let critical = ratio > 1. +. time_tolerance in
+                {
+                  code = "DR011";
+                  severity = (if critical then Critical else Warning);
+                  subject = subject_of runs;
+                  stage = Some stage;
+                  suspects =
+                    [ ("kernel-regression", if critical then 1.0 else 0.5) ];
+                  detail =
+                    spf
+                      "winner lineage for %s on %s diverges at the %s stage \
+                       between runs %s and %s (time ratio %.3g)"
+                      (subject_of runs) (Journal.arch_name arch) stage
+                      (Journal.short a.run_id) (Journal.short b.run_id) ratio;
+                }
+                :: pairs (b :: rest))
+            | _ -> []
+          in
+          pairs runs)
+        archs)
+    gs
+
+let check_surrogate ~mispredict_threshold gs =
+  List.filter_map
+    (fun (_, entries) ->
+      match List.rev entries with
+      | [] -> None
+      | (latest : Journal.entry) :: _ -> (
+        match mispredict latest with
+        | Some m when m > mispredict_threshold ->
+          Some
+            {
+              code = "DR012";
+              severity = Warning;
+              subject = subject_of entries;
+              stage = None;
+              suspects =
+                [
+                  ( "surrogate-drift",
+                    Float.min 1.0 (m /. (2. *. mispredict_threshold)) );
+                ];
+              detail =
+                spf
+                  "surrogate mispredict %.3g on run %s of %s (threshold %g): \
+                   the model no longer predicts measured times"
+                  m (Journal.short latest.run_id) (subject_of entries)
+                  mispredict_threshold;
+            }
+        | _ -> None))
+    gs
+
+let check_cache load =
+  match load with
+  | None -> []
+  | Some l ->
+    let tuned =
+      match List.assoc_opt "tuned" l.served with Some n -> n | None -> 0
+    in
+    if l.load_classes > 0 && tuned > l.load_classes then
+      [
+        {
+          code = "DR013";
+          severity = Warning;
+          subject = "canonical-cache";
+          stage = None;
+          suspects = [ ("cache-eviction", 0.9) ];
+          detail =
+            spf
+              "%d cold tunes for %d request classes: the canonical cache \
+               re-tuned keys it had already seen (eviction or capacity loss)"
+              tuned l.load_classes;
+        };
+      ]
+    else []
+
+let check_bench bench load =
+  match (bench, load) with
+  | Some (b : Bench_log.artifact), Some { slo = Some (s : Slo.report); _ } ->
+    List.concat_map
+      (fun (e : Bench_log.experiment) ->
+        List.filter_map
+          (fun (qname, (q : Bench_log.quantiles)) ->
+            if q.q99 > s.spec.latency_budget_s then
+              Some
+                {
+                  code = "DR020";
+                  severity = Warning;
+                  subject = spf "%s/%s" e.name qname;
+                  stage = None;
+                  suspects = [ ("serving-regression", 0.6) ];
+                  detail =
+                    spf
+                      "bench artifact %s/%s p99 %.3g s already exceeds the \
+                       SLO latency budget %.3g s"
+                      e.name qname q.q99 s.spec.latency_budget_s;
+                }
+            else None)
+          e.quantiles)
+      b.experiments
+  | _ -> []
+
+let check_discarded n =
+  if n <= 0 then []
+  else
+    [
+      {
+        code = "DR030";
+        severity = Info;
+        subject = "journal";
+        stage = None;
+        suspects = [];
+        detail =
+          spf "%d journal line%s discarded (torn or corrupt)" n
+            (if n = 1 then "" else "s");
+      };
+    ]
+
+(* Ranked suspects for the critical (symptom) findings, scored from the
+   corroborating (cause) findings; falls back to serving-regression when
+   nothing journal-side scores. *)
+let attribution cause_findings =
+  let score name =
+    List.fold_left
+      (fun acc f ->
+        List.fold_left
+          (fun acc (n, s) -> if n = name then Float.max acc s else acc)
+          acc f.suspects)
+      0. cause_findings
+  in
+  let names =
+    [ "arch-change"; "kernel-regression"; "surrogate-drift"; "cache-eviction" ]
+  in
+  let scored =
+    List.filter_map
+      (fun n ->
+        let s = score n in
+        if s > 0. then Some (n, s) else None)
+      names
+  in
+  match scored with
+  | [] -> [ ("serving-regression", 0.25) ]
+  | _ ->
+    List.stable_sort (fun (_, a) (_, b) -> compare (b : float) a) scored
+
+let stage_of cause_findings =
+  List.find_map
+    (fun f -> if f.code = "DR011" then f.stage else None)
+    cause_findings
+
+let check_slo load ~suspects ~stage =
+  match load with
+  | None -> []
+  | Some { slo = None; _ } -> []
+  | Some { slo = Some (r : Slo.report); _ } ->
+    List.filter_map
+      (fun (a : Slo.alert) ->
+        match a.severity with
+        | Slo.Ok -> None
+        | Slo.Page ->
+          Some
+            {
+              code = "DR001";
+              severity = Critical;
+              subject = spf "%s/%s" r.spec.name a.objective;
+              stage;
+              suspects;
+              detail = spf "SLO pages at tick %d: %s" r.at_tick a.detail;
+            }
+        | Slo.Ticket ->
+          Some
+            {
+              code = "DR003";
+              severity = Warning;
+              subject = spf "%s/%s" r.spec.name a.objective;
+              stage = None;
+              suspects = [];
+              detail = spf "SLO tickets at tick %d: %s" r.at_tick a.detail;
+            })
+      r.alerts
+
+let check_alarms alarms ~suspects ~stage =
+  List.map
+    (fun (a : Drift.alarm) ->
+      {
+        code = "DR002";
+        severity = Critical;
+        subject = a.monitor;
+        stage;
+        suspects;
+        detail = a.detail;
+      })
+    alarms
+
+(* ------------------------------------------------------------------ *)
+
+let diagnose ?(mispredict_threshold = 0.5) ?(time_tolerance = 0.25) inputs =
+  let gs = groups inputs.journal in
+  let causes =
+    check_arch_changes gs
+    @ check_kernel_drift ~time_tolerance gs
+    @ check_surrogate ~mispredict_threshold gs
+    @ check_cache inputs.load
+  in
+  let suspects = attribution causes in
+  let stage = stage_of causes in
+  let alarms =
+    (match inputs.load with None -> [] | Some l -> l.alarms)
+    @ inputs.extra_alarms
+  in
+  let findings =
+    check_slo inputs.load ~suspects ~stage
+    @ check_alarms alarms ~suspects ~stage
+    @ causes
+    @ check_bench inputs.bench inputs.load
+    @ check_discarded inputs.discarded
+  in
+  let findings =
+    List.stable_sort
+      (fun a b ->
+        match compare (severity_rank a.severity) (severity_rank b.severity) with
+        | 0 -> (
+          match compare a.code b.code with
+          | 0 -> compare a.subject b.subject
+          | c -> c)
+        | c -> c)
+      findings
+  in
+  {
+    runs = List.length inputs.journal;
+    keys = List.length gs;
+    archs =
+      List.length
+        (uniq (List.map (fun (e : Journal.entry) -> e.arch) inputs.journal));
+    findings;
+  }
+
+let has_critical r =
+  List.exists (fun f -> f.severity = Critical) r.findings
+
+let finding_to_json f =
+  Json.Obj
+    ([
+       ("code", Json.Str f.code);
+       ("severity", Json.Str (severity_name f.severity));
+       ("subject", Json.Str f.subject);
+     ]
+    @ (match f.stage with None -> [] | Some s -> [ ("stage", Json.Str s) ])
+    @ [
+        ( "suspects",
+          Json.Arr
+            (List.map
+               (fun (n, s) -> Json.Arr [ Json.Str n; Json.Num s ])
+               f.suspects) );
+        ("detail", Json.Str f.detail);
+      ])
+
+let count sev r =
+  List.length (List.filter (fun f -> f.severity = sev) r.findings)
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema_version", Json.int 1);
+      ("runs", Json.int r.runs);
+      ("keys", Json.int r.keys);
+      ("archs", Json.int r.archs);
+      ("critical", Json.int (count Critical r));
+      ("warning", Json.int (count Warning r));
+      ("info", Json.int (count Info r));
+      ("findings", Json.Arr (List.map finding_to_json r.findings));
+    ]
+
+let render r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (spf "doctor: %d run%s, %d key%s, %d arch%s - %d critical, %d warning, %d \
+          info\n"
+       r.runs
+       (if r.runs = 1 then "" else "s")
+       r.keys
+       (if r.keys = 1 then "" else "s")
+       r.archs
+       (if r.archs = 1 then "" else "s")
+       (count Critical r) (count Warning r) (count Info r));
+  if r.findings = [] then Buffer.add_string b "  healthy: no findings\n"
+  else
+    List.iter
+      (fun f ->
+        Buffer.add_string b
+          (spf "  [%s] %s %s - %s\n"
+             (String.uppercase_ascii (severity_name f.severity))
+             f.code f.subject f.detail);
+        (match f.stage with
+        | Some s ->
+          Buffer.add_string b (spf "      earliest diverging stage: %s\n" s)
+        | None -> ());
+        match f.suspects with
+        | [] -> ()
+        | ss ->
+          Buffer.add_string b
+            (spf "      suspects: %s\n"
+               (String.concat ", "
+                  (List.map (fun (n, s) -> spf "%s (%.2f)" n s) ss))))
+      r.findings;
+  Buffer.contents b

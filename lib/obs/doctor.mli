@@ -1,0 +1,89 @@
+(** Cross-artifact root-cause correlator: the "drift doctor".
+
+    {!diagnose} reads up to four artifact families - a tuning journal
+    ({!Journal}), a benchmark artifact ({!Bench_log}), a load/SLO report
+    (the [loadgen] JSON, or a bare {!Slo} report) and live {!Drift}
+    alarms - aligns them by canonical key, arch fingerprint and lineage
+    hashes, and emits a machine-readable health report.
+
+    Findings carry stable [DRxxx] codes:
+
+    - [DR001] (critical) - the SLO verdict pages.
+    - [DR002] (critical) - a drift monitor alarmed ("p99 shifted at tick
+      T").
+    - [DR003] (warning) - the SLO verdict tickets.
+    - [DR010] (warning) - a canonical key was tuned under two or more
+      arch fingerprints (device identity changed under the cache).
+    - [DR011] (critical/warning) - two runs of the same key on the same
+      arch disagree on the winning lineage; the finding names the
+      earliest diverging stage ({!Journal.first_divergence}) and is
+      critical when the later winner is slower beyond [time_tolerance].
+    - [DR012] (warning) - surrogate mispredict (mean
+      [|predicted/measured - 1|] over a run's model-guided variants)
+      above [mispredict_threshold] on the latest run of a key.
+    - [DR013] (warning) - cold tunes exceed the number of request
+      classes: the canonical cache re-tuned something it had already
+      seen (eviction / capacity loss).
+    - [DR020] (warning) - a bench-artifact service quantile already
+      exceeds the SLO latency budget (cross-artifact corroboration).
+    - [DR030] (info) - the journal had undecodable (torn/corrupt) lines.
+
+    Critical findings carry ranked suspects - [arch-change],
+    [kernel-regression], [surrogate-drift], [cache-eviction], falling
+    back to [serving-regression] when no journal-side cause scores -
+    with scores in [0, 1] derived from the corroborating findings.
+
+    Everything here is pure over its inputs: no wall-clock reads, no RNG,
+    so the same artifacts produce a bit-identical report. *)
+
+type severity = Critical | Warning | Info
+
+val severity_name : severity -> string
+
+type finding = {
+  code : string;  (** stable [DRxxx] id *)
+  severity : severity;
+  subject : string;  (** key label, monitor name, or experiment *)
+  stage : string option;  (** earliest diverging lineage stage, if known *)
+  suspects : (string * float) list;  (** ranked causes, score descending *)
+  detail : string;
+}
+
+(** The load/SLO side of the correlation: parsed from a [loadgen] report
+    (or a bare SLO report, which fills only [slo]). *)
+type load = {
+  slo : Slo.report option;
+  alarms : Drift.alarm list;
+  served : (string * int) list;  (** serve-class counts, e.g. ["tuned"] *)
+  load_classes : int;  (** request classes in the replay mix *)
+}
+
+(** Accepts a full [loadgen] report (member ["slo"], optional ["drift"])
+    or a bare {!Slo} report document. *)
+val load_of_json : Json.t -> (load, string) result
+
+type inputs = {
+  journal : Journal.entry list;
+  discarded : int;  (** undecodable journal lines *)
+  bench : Bench_log.artifact option;
+  load : load option;
+  extra_alarms : Drift.alarm list;  (** live monitors beyond the report *)
+}
+
+val no_inputs : inputs
+
+type report = {
+  runs : int;
+  keys : int;  (** distinct canonical keys in the journal *)
+  archs : int;  (** distinct arch fingerprints in the journal *)
+  findings : finding list;  (** severity-sorted, stable order *)
+}
+
+(** [mispredict_threshold] defaults to 0.5, [time_tolerance] (DR011
+    critical band) to 0.25. *)
+val diagnose :
+  ?mispredict_threshold:float -> ?time_tolerance:float -> inputs -> report
+
+val has_critical : report -> bool
+val to_json : report -> Json.t
+val render : report -> string

@@ -217,6 +217,25 @@ let prometheus_sketches ?(prefix = "barracuda") ~counters ~sketches () =
         (Sketch.buckets sketch);
       Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m (Sketch.count sketch));
       Buffer.add_string b (Printf.sprintf "%s_sum %.9g\n" m (Sketch.total sketch));
-      Buffer.add_string b (Printf.sprintf "%s_count %d\n" m (Sketch.count sketch)))
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" m (Sketch.count sketch));
+      (* sketch health: occupied buckets and whether the max_buckets cap
+         has forced low-bucket collapse (quantiles near 0 then exceed the
+         error bound) - without these gauges, accuracy loss is silent *)
+      let g = metric_name prefix (name ^ "_sketch_buckets") in
+      header b ~metric:g
+        ~help:(Printf.sprintf "Occupied sketch buckets of %s." name)
+        ~kind:"gauge";
+      Buffer.add_string b
+        (Printf.sprintf "%s %d\n" g (Sketch.bucket_count sketch));
+      let c = metric_name prefix (name ^ "_sketch_collapsed") in
+      header b ~metric:c
+        ~help:
+          (Printf.sprintf
+             "1 once the bucket cap has collapsed low buckets of %s (low \
+              quantiles may exceed the error bound)."
+             name)
+        ~kind:"gauge";
+      Buffer.add_string b
+        (Printf.sprintf "%s %d\n" c (if Sketch.collapsed sketch then 1 else 0)))
     sketches;
   Buffer.contents b

@@ -40,7 +40,11 @@ val prometheus :
     (plus the mandatory [le="+Inf"]), [_sum] and [_count]; counters are
     rendered as in {!prometheus}. Bucket counts come straight from
     {!Sketch.buckets}, so exposition cost and size are O(buckets), not
-    O(observations). *)
+    O(observations). Each timer also exposes two sketch-health gauges:
+    [<prefix>_<name>_sketch_buckets] (live occupied-bucket count) and
+    [<prefix>_<name>_sketch_collapsed] (1 once the [max_buckets] cap has
+    collapsed low buckets, i.e. low quantiles may exceed the error
+    bound). *)
 val prometheus_sketches :
   ?prefix:string ->
   counters:(string * int) list ->

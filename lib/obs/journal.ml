@@ -326,6 +326,17 @@ let run_id e =
   Digest.to_hex
     (Digest.string (Json.to_string (to_json { e with run_id = ""; timestamp = 0.0 })))
 
+(* Where two lineages first diverge, stage names in derivation order. The
+   replay-drift gate and the doctor both use this to attribute a changed
+   kernel to the earliest responsible pipeline stage. *)
+let first_divergence (a : lineage) (b : lineage) =
+  if a.dsl_hash <> b.dsl_hash then Some "dsl"
+  else if a.variant_hash <> b.variant_hash then Some "variant"
+  else if a.tcr_hash <> b.tcr_hash then Some "tcr"
+  else if a.recipe_hash <> b.recipe_hash then Some "recipe"
+  else if a.kernel_hash <> b.kernel_hash then Some "kernel"
+  else None
+
 (* ---------------- file I/O ---------------- *)
 
 let append path e =
@@ -460,6 +471,36 @@ let render_history entries =
     (Printf.sprintf "%d run%s journaled\n" (List.length entries)
        (if List.length entries = 1 then "" else "s"));
   Buffer.contents b
+
+(* Machine-readable history: one summary object per run, file order. A
+   scripting-friendly subset of the full entry - everything the doctor's
+   findings reference (ids, keys, arch, lineage tail) without the
+   per-iteration search state. *)
+let history_json entries =
+  Json.Arr
+    (List.map
+       (fun e ->
+         Json.Obj
+           ([
+              ("run_id", Json.Str e.run_id);
+              ("timestamp", Json.Num e.timestamp);
+              ("key", Json.Str e.key);
+              ("label", Json.Str e.label);
+              ("arch", Json.Str e.arch);
+              ("seed", Json.int e.seed);
+              ("evaluations", Json.int e.evaluations);
+              ("pool_size", Json.int e.pool_size);
+              ("gate_checked", Json.int e.gate_checked);
+              ("gate_rejected", Json.int e.gate_rejected);
+              ("best_s", Json.Num e.winner.measured);
+              ("winner_label", Json.Str e.winner.label);
+              ("winner_kernel", Json.Str e.winner.lineage.kernel_hash);
+            ]
+           @
+           match e.network with
+           | None -> []
+           | Some n -> [ ("network_method", Json.Str n.net_method) ]))
+       entries)
 
 let render_lineage b indent l =
   List.iter

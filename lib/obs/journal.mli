@@ -106,6 +106,11 @@ val load : string -> entry list * int
     for the most recent entry. *)
 val find : entry list -> run:string -> (entry, string) result
 
+(** [first_divergence a b] names the earliest lineage stage whose hash
+    differs ("dsl", "variant", "tcr", "recipe" or "kernel"), or [None]
+    when the chains are identical. *)
+val first_divergence : lineage -> lineage -> string option
+
 (** {2 Global sink} *)
 
 val enabled : unit -> bool
@@ -132,8 +137,16 @@ val collect : (unit -> 'a) -> 'a * entry list
 (** First 12 hex digits of a run id. *)
 val short : string -> string
 
+(** Device model name: the fingerprint up to its first ['|']. *)
+val arch_name : string -> string
+
 (** One line per run: id, time, label, arch, seed, evaluations, best. *)
 val render_history : entry list -> string
+
+(** Machine-readable history: one summary object per run in file order
+    (ids, key, arch, seed, winner time/label/kernel hash, gate counts,
+    network method when present). *)
+val history_json : entry list -> Json.t
 
 (** Full report for one run: winner lineage chain, named importances,
     surrogate fit (R-squared, worst over-predictions), rejected rivals. *)

@@ -68,7 +68,24 @@ type t = {
   cache : Tuning_cache.t;
   sched : Scheduler.t;
   metrics : Metrics.t;
+  drift : Obs.Drift.registry;
+  mutable drift_tick : int;  (* responses served; the monitors' clock *)
 }
+
+(* Self-watching monitors. Both streams have a known absolute scale, so
+   Page-Hinkley applies directly: the hit-rate stream is 0/1 per response
+   (a cache in steady state serves ~1), the mispredict stream is
+   |predicted/measured - 1| per model-guided evaluation of a cold tune
+   (a healthy surrogate sits well under 1). *)
+let make_drift () =
+  let r = Obs.Drift.create_registry () in
+  Obs.Drift.register r
+    (Obs.Drift.page_hinkley ~delta:0.2 ~lambda:3.0 ~min_count:20
+       "cache.hit_rate");
+  Obs.Drift.register r
+    (Obs.Drift.page_hinkley ~delta:0.1 ~lambda:2.0 ~min_count:10
+       "surrogate.mispredict");
+  r
 
 let create ?(config = default_config) () =
   {
@@ -77,9 +94,12 @@ let create ?(config = default_config) () =
     sched =
       Scheduler.create ~clamp_to_cores:config.clamp_domains ~domains:config.domains ();
     metrics = Metrics.create ();
+    drift = make_drift ();
+    drift_tick = 0;
   }
 
 let metrics t = t.metrics
+let drift t = t.drift
 let cache_stats t = Tuning_cache.stats t.cache
 let effective_domains t = Scheduler.domains t.sched
 
@@ -239,6 +259,25 @@ let batch t (requests : request list) =
       | Memory_hit -> Metrics.incr t.metrics "serve.hit.memory"
       | Disk_hit -> Metrics.incr t.metrics "serve.hit.disk");
       Metrics.observe t.metrics "request.wall" wall_s;
+      (* drift monitors, fed on the caller's domain only (the registry is
+         not domain-safe): cache efficacy as a 0/1 hit stream, surrogate
+         health as the cold tune's own prediction track record. Feeding
+         draws no RNG and never feeds back into tuning. *)
+      t.drift_tick <- t.drift_tick + 1;
+      let tick = t.drift_tick in
+      ignore
+        (Obs.Drift.feed t.drift "cache.hit_rate" ~tick
+           (match served with Tuned -> 0.0 | _ -> 1.0));
+      (match (served, result.Autotune.Tuner.explain) with
+      | Tuned, Some ex ->
+        List.iter
+          (fun (_, predicted, measured) ->
+            if measured > 0.0 then
+              ignore
+                (Obs.Drift.feed t.drift "surrogate.mispredict" ~tick
+                   (Float.abs ((predicted /. measured) -. 1.0))))
+          ex.Surf.Search.residuals
+      | _ -> ());
       {
         label = req.label;
         key = canon.key;
@@ -280,10 +319,11 @@ let convergence_report (r : response) =
   Obs.Search_log.render ~label:(r.label ^ " [" ^ served_name r.served ^ "]")
     r.result.Autotune.Tuner.iterations
 
-(* Render the service-side view: metrics plus cache counters. *)
+(* Render the service-side view: metrics plus cache counters plus the
+   self-watching drift monitors. *)
 let stats_report t =
   let s = cache_stats t in
   Printf.sprintf
-    "%scache:\n  hits %d (disk %d)  misses %d  corrupt %d  stores %d  evictions %d  front %d\n"
+    "%scache:\n  hits %d (disk %d)  misses %d  corrupt %d  stores %d  evictions %d  front %d\n%s"
     (Metrics.render t.metrics) s.hits s.disk_loads s.misses s.corrupt s.stores s.evictions
-    (Tuning_cache.size t.cache)
+    (Tuning_cache.size t.cache) (Obs.Drift.render t.drift)

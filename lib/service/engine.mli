@@ -53,6 +53,16 @@ type t
 val create : ?config:config -> unit -> t
 
 val metrics : t -> Metrics.t
+
+(** The engine's self-watching {!Obs.Drift} monitors: a [cache.hit_rate]
+    monitor fed 0/1 per response (Page-Hinkley pages when the hit rate
+    collapses, i.e. eviction or key churn) and a [surrogate.mispredict]
+    monitor fed [|predicted/measured - 1|] per model-guided evaluation of
+    every cold tune. Fed on the caller's domain inside {!batch}; feeding
+    draws no RNG, so tuning results are unchanged. The registry is not
+    domain-safe - query it from the domain that calls {!batch}. *)
+val drift : t -> Obs.Drift.registry
+
 val cache_stats : t -> Tuning_cache.stats
 
 (** Worker count after clamping (see {!Scheduler.create}). *)
@@ -64,7 +74,7 @@ val batch : t -> request list -> response list
 val tune : t -> request -> response
 val tune_dsl : ?label:string -> t -> string -> response
 
-(** Rendered metrics plus cache counters. *)
+(** Rendered metrics plus cache counters plus drift-monitor summary. *)
 val stats_report : t -> string
 
 (** Prometheus text exposition of the service metrics and cache gauges. *)

@@ -29,6 +29,8 @@ type config = {
   error_rate : float;
   jitter : float;
   degrade : float;
+  degrade_at : int;
+  monitor : bool;
   hit_cost_s : float;
   tune_base_s : float;
   eval_cost_s : float;
@@ -46,6 +48,8 @@ let default_config =
     error_rate = 0.001;
     jitter = 0.25;
     degrade = 1.0;
+    degrade_at = 0;
+    monitor = false;
     hit_cost_s = 2e-4;
     tune_base_s = 1e-3;
     eval_cost_s = 2e-3;
@@ -65,6 +69,8 @@ type result = {
   window : Obs.Window.t;
   verdict : Obs.Slo.report;
   metrics : Metrics.t;
+  drift : Obs.Drift.registry option;
+  alarms : Obs.Drift.alarm list;
   wall_s : float;
 }
 
@@ -100,6 +106,24 @@ let run ?on_frame ?frame_every cfg classes =
   let errors = ref 0 in
   let served = Hashtbl.create 8 in
   let tick = ref (-1) in
+  (* Change-point monitors over the modeled latency stream, calibrated
+     from the replay's own early windows (one window of CUSUM reference =
+     two epochs; quantile-shift merges its first two windows). Feeding
+     starts after the first epoch so cold-tune outliers - every class is
+     tuned within the first few batches - stay out of the reference. *)
+  let drift =
+    if not cfg.monitor then None
+    else begin
+      let r = Obs.Drift.create_registry () in
+      Obs.Drift.register r
+        (Obs.Drift.quantile_shift ~p:99.0 ~ratio:2.0 ~window:cfg.window_width
+           ~ref_windows:2 "latency.p99");
+      Obs.Drift.register r
+        (Obs.Drift.cusum ~ref_count:(2 * cfg.window_width) ~k:0.5 ~h:15.0
+           "latency.mean");
+      Some r
+    end
+  in
   let next_frame = ref (match frame_every with Some k -> k | None -> max_int) in
   let remaining = ref cfg.requests in
   while !remaining > 0 do
@@ -114,12 +138,19 @@ let run ?on_frame ?frame_every cfg classes =
     List.iter
       (fun (r : Engine.response) ->
         Stdlib.incr tick;
+        let degrade = if !tick >= cfg.degrade_at then cfg.degrade else 1.0 in
         let latency =
-          model_latency cfg r *. cfg.degrade
+          model_latency cfg r *. degrade
           *. exp (cfg.jitter *. Util.Rng.gaussian rng)
         in
         let ok = not (Util.Rng.float rng 1.0 < cfg.error_rate) in
         if not ok then Stdlib.incr errors;
+        (match drift with
+        | Some reg when !tick >= cfg.window_width ->
+          List.iter
+            (fun m -> ignore (Obs.Drift.observe m ~tick:!tick latency))
+            (Obs.Drift.monitors reg)
+        | _ -> ());
         let name = Engine.served_name r.served in
         (match Hashtbl.find_opt served name with
         | Some c -> Stdlib.incr c
@@ -145,6 +176,9 @@ let run ?on_frame ?frame_every cfg classes =
     window;
     verdict;
     metrics = Engine.metrics svc;
+    drift;
+    alarms =
+      (match drift with None -> [] | Some r -> Obs.Drift.all_alarms r);
     wall_s = Unix.gettimeofday () -. t0;
   }
 
@@ -167,12 +201,15 @@ let render r =
        (100.0 *. float_of_int r.errors /. float_of_int r.total));
   Buffer.add_string b (Obs.Window.render r.window ~now:r.ticks);
   Buffer.add_string b (Obs.Slo.render r.verdict);
+  (match r.drift with
+  | Some reg -> Buffer.add_string b (Obs.Drift.render reg)
+  | None -> ());
   Buffer.contents b
 
 let report_json r =
   let snap = Obs.Window.snapshot r.window ~now:r.ticks in
   Obs.Json.Obj
-    [
+    ([
       ("schema_version", Obs.Json.int 1);
       ("requests", Obs.Json.int r.total);
       ("seed", Obs.Json.int r.cfg.seed);
@@ -204,3 +241,7 @@ let report_json r =
           ] );
       ("slo", Obs.Slo.to_json r.verdict);
     ]
+    @
+    match r.drift with
+    | None -> []
+    | Some reg -> [ ("drift", Obs.Drift.registry_json reg) ])

@@ -38,6 +38,15 @@ type config = {
   error_rate : float;  (** injected failure probability per request *)
   jitter : float;  (** lognormal sigma of the latency model *)
   degrade : float;  (** latency multiplier; >1 simulates a regression *)
+  degrade_at : int;
+      (** first tick the degrade multiplier applies to; 0 degrades the
+          whole run, [requests/2] injects a mid-replay regression *)
+  monitor : bool;
+      (** attach online change-point monitors ({!Obs.Drift}) to the
+          latency stream: a [latency.p99] quantile-shift monitor and a
+          [latency.mean] CUSUM, both calibrated from the replay's own
+          early windows. Monitors skip the first [window_width] ticks so
+          cold-tune warmup cannot pollute the reference. *)
   hit_cost_s : float;  (** modeled service cost of a cache hit *)
   tune_base_s : float;  (** modeled fixed cost of a cold tune *)
   eval_cost_s : float;  (** modeled cost per SURF evaluation *)
@@ -62,6 +71,11 @@ type result = {
   window : Obs.Window.t;
   verdict : Obs.Slo.report;  (** evaluated at the final tick *)
   metrics : Metrics.t;  (** the engine's metrics registry *)
+  drift : Obs.Drift.registry option;  (** the monitors, when [monitor] *)
+  alarms : Obs.Drift.alarm list;
+      (** change-point alarms fired during the replay, tick order; [[]]
+          when [monitor] is off. Deterministic: two identical replays
+          alarm at identical ticks. *)
   wall_s : float;  (** real wall time of the replay (not in the JSON) *)
 }
 
@@ -80,6 +94,7 @@ val run :
 val render : result -> string
 
 (** Machine-readable report for CI: config echo, class mix, serve counts,
-    window-tail quantiles and the SLO verdict. Deterministic for a fixed
+    window-tail quantiles, the SLO verdict and (when monitoring) the
+    drift-monitor summary with its alarms. Deterministic for a fixed
     seed (no wall times, no timestamps). *)
 val report_json : result -> Obs.Json.t

@@ -33,10 +33,18 @@ type timer = {
 type t = {
   counters : (string, int ref) Hashtbl.t;
   timers : (string, timer) Hashtbl.t;
+  watchers : (string, Obs.Drift.t list ref) Hashtbl.t;
+      (* drift monitors per timer name, fed under the same lock *)
   lock : Mutex.t;
 }
 
-let create () = { counters = Hashtbl.create 16; timers = Hashtbl.create 16; lock = Mutex.create () }
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    timers = Hashtbl.create 16;
+    watchers = Hashtbl.create 4;
+    lock = Mutex.create ();
+  }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -87,7 +95,32 @@ let observe t name seconds =
       if seconds > tm.vmax then tm.vmax <- seconds;
       Obs.Sketch.add tm.sketch seconds;
       let d = tm.decades in
-      d.(decade_index seconds) <- d.(decade_index seconds) + 1)
+      d.(decade_index seconds) <- d.(decade_index seconds) + 1;
+      (* the timer's own observation count is the watch tick, so alarms
+         land at a deterministic per-timer logical time *)
+      match Hashtbl.find_opt t.watchers name with
+      | None -> ()
+      | Some ms ->
+        List.iter (fun m -> ignore (Obs.Drift.observe m ~tick:tm.n seconds)) !ms)
+
+let watch t name monitor =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.watchers name with
+      | Some ms -> ms := !ms @ [ monitor ]
+      | None -> Hashtbl.add t.watchers name (ref [ monitor ]))
+
+let watched t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name ms acc -> (name, !ms) :: acc) t.watchers []
+      |> List.sort compare)
+
+let watch_alarms t =
+  watched t
+  |> List.concat_map (fun (_, ms) -> List.concat_map Obs.Drift.alarms ms)
+  |> List.stable_sort (fun (a : Obs.Drift.alarm) (b : Obs.Drift.alarm) ->
+         match compare a.at_tick b.at_tick with
+         | 0 -> compare a.monitor b.monitor
+         | c -> c)
 
 let time t name f =
   let t0 = Unix.gettimeofday () in

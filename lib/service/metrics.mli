@@ -29,6 +29,18 @@ val observe : t -> string -> float -> unit
 (** Time a thunk and record its wall duration (also on exception). *)
 val time : t -> string -> (unit -> 'a) -> 'a
 
+(** [watch t name monitor] attaches a {!Obs.Drift} monitor to a timer:
+    every subsequent {!observe} on [name] feeds the monitor under the
+    metrics lock, with the timer's own observation count as the logical
+    tick. Several monitors may watch one timer. *)
+val watch : t -> string -> Obs.Drift.t -> unit
+
+(** Watched timers with their monitors, sorted by timer name. *)
+val watched : t -> (string * Obs.Drift.t list) list
+
+(** All alarms across watched timers, sorted by tick then monitor name. *)
+val watch_alarms : t -> Obs.Drift.alarm list
+
 (** Current value of a counter (0 if never incremented). *)
 val counter : t -> string -> int
 

@@ -32,4 +32,5 @@ let () =
       ("check", Test_check.suite);
       ("netopt", Test_netopt.suite);
       ("telemetry", Test_telemetry.suite);
+      ("drift", Test_drift.suite);
     ]

@@ -162,6 +162,35 @@ let test_window_render () =
   check_contains "render" out "3 epochs live";
   check_contains "render" out "p99 trend"
 
+let test_window_render_empty () =
+  let w = Obs.Window.create ~width:5 ~buckets:3 () in
+  let out = Obs.Window.render w ~now:0 in
+  check_contains "render" out "0 epochs live";
+  (* no slots, so no sparkline line at all *)
+  check_bool "no trend line" false (contains out "p99 trend")
+
+let test_window_render_single_epoch () =
+  let w = Obs.Window.create ~width:5 ~buckets:3 () in
+  Obs.Window.observe w ~now:2 ~ok:true 2e-3;
+  let out = Obs.Window.render w ~now:4 in
+  check_contains "render" out "1 epochs live";
+  check_contains "render" out "0-4";
+  check_contains "render" out "p99 trend"
+
+let test_window_render_all_error_epoch () =
+  (* an epoch of failed zero-latency probes: the error column counts them
+     and the sparkline degrades to blanks (max of the series is 0) rather
+     than dividing by zero *)
+  let w = Obs.Window.create ~width:5 ~buckets:3 () in
+  for t = 0 to 4 do
+    Obs.Window.observe w ~now:t ~ok:false 0.0
+  done;
+  let out = Obs.Window.render w ~now:4 in
+  check_contains "render" out "1 epochs live";
+  check_contains "errors counted" out "     5";
+  check_contains "zero p99 renders" out "0.000";
+  check_contains "blank sparkline" out "p99 trend:  \n"
+
 (* A random monotone tick stream replayed into two fresh windows lands
    bit-identically: eviction depends only on the observed sequence. *)
 let qcheck_window_replay_deterministic =
@@ -378,6 +407,31 @@ let test_legacy_prometheus_help () =
   check_contains "summary help" out "# HELP barracuda_req_seconds";
   check_contains "summary type" out "# TYPE barracuda_req_seconds summary"
 
+let test_prometheus_sketch_health_gauges () =
+  (* every exposed timer carries its sketch-health gauges: the live bucket
+     count and whether the bucket cap has collapsed low buckets *)
+  let healthy = Obs.Sketch.create ~alpha:0.01 () in
+  List.iter (Obs.Sketch.add healthy) [ 1e-3; 2e-3; 4e-3 ];
+  let out =
+    Obs.Export.prometheus_sketches ~counters:[]
+      ~sketches:[ ("req", healthy) ] ()
+  in
+  check_contains "buckets gauge type" out
+    "# TYPE barracuda_req_sketch_buckets gauge";
+  check_contains "buckets gauge value" out
+    (Printf.sprintf "barracuda_req_sketch_buckets %d"
+       (Obs.Sketch.bucket_count healthy));
+  check_contains "collapsed gauge" out "barracuda_req_sketch_collapsed 0";
+  let capped = Obs.Sketch.create ~alpha:0.05 ~max_buckets:16 () in
+  for i = -30 to 29 do
+    Obs.Sketch.add capped (10.0 ** float_of_int i)
+  done;
+  let out =
+    Obs.Export.prometheus_sketches ~counters:[]
+      ~sketches:[ ("req", capped) ] ()
+  in
+  check_contains "collapse flagged" out "barracuda_req_sketch_collapsed 1"
+
 (* ---------------- loadgen ---------------- *)
 
 let mm_dsl = "C[i j] = Sum([k], A[i k] * B[k j])"
@@ -514,6 +568,11 @@ let suite =
     Alcotest.test_case "window: lazy eviction" `Quick test_window_eviction;
     Alcotest.test_case "window: short snapshots" `Quick test_window_snapshot_last;
     Alcotest.test_case "window: dashboard render" `Quick test_window_render;
+    Alcotest.test_case "window: empty render" `Quick test_window_render_empty;
+    Alcotest.test_case "window: single-epoch render" `Quick
+      test_window_render_single_epoch;
+    Alcotest.test_case "window: all-error epoch render" `Quick
+      test_window_render_all_error_epoch;
     Alcotest.test_case "slo: healthy window" `Quick test_slo_healthy;
     Alcotest.test_case "slo: latency page" `Quick test_slo_latency_page;
     Alcotest.test_case "slo: latency ticket" `Quick test_slo_latency_ticket;
@@ -535,6 +594,8 @@ let suite =
       test_metric_name_escaping;
     Alcotest.test_case "export: legacy summary keeps HELP" `Quick
       test_legacy_prometheus_help;
+    Alcotest.test_case "export: sketch health gauges" `Quick
+      test_prometheus_sketch_health_gauges;
     Alcotest.test_case "loadgen: deterministic replay" `Quick
       test_loadgen_replay_deterministic;
     Alcotest.test_case "loadgen: result shape and bounded memory" `Quick
