@@ -8,10 +8,12 @@
 
    Experiments (none = all, in the order below):
      claims space table2 table3 table4 figure3 surf-vs-brute ablation
-     modelcheck motivation sweep service netopt telemetry drift bechamel
+     modelcheck motivation sweep service netopt telemetry drift ledger
+     bechamel
 
    Flags compose with any experiment selection; unknown --flags are an
    error, not a silently ignored subcommand:
+     --list             print the experiment names, one per line, and exit
      --trace-dir=DIR    trace every experiment; write DIR/<name>.trace.json
                         (Chrome trace-event, loadable in chrome://tracing);
                         nested DIRs are created recursively
@@ -43,12 +45,13 @@ let default_options =
 let experiment_names =
   [ "claims"; "space"; "table2"; "table3"; "table4"; "figure3"; "surf-vs-brute";
     "ablation"; "modelcheck"; "motivation"; "sweep"; "service"; "netopt";
-    "telemetry"; "drift"; "bechamel" ]
+    "telemetry"; "drift"; "ledger"; "bechamel" ]
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [EXPERIMENT...] [--trace-dir=DIR] [--json-out=FILE] \
-     [--compare=FILE] [--compare-threshold=R] [--compare-alpha=A]\n\
+    "usage: main.exe [EXPERIMENT...] [--list] [--trace-dir=DIR] \
+     [--json-out=FILE] [--compare=FILE] [--compare-threshold=R] \
+     [--compare-alpha=A]\n\
      experiments: %s\n"
     (String.concat " " experiment_names);
   exit 2
@@ -84,6 +87,9 @@ let parse_argv argv =
       if String.length a >= 2 && String.sub a 0 2 = "--" then begin
         let name, v = split_flag a in
         match name with
+        | "--list" ->
+          List.iter print_endline experiment_names;
+          exit 0
         | "--trace-dir" -> opts := { !opts with trace_dir = Some (value name v) }
         | "--json-out" -> opts := { !opts with json_out = Some (value name v) }
         | "--compare" -> opts := { !opts with compare_to = Some (value name v) }
@@ -265,6 +271,57 @@ let drift_table () =
 
 let run_drift () = table "drift" drift_table
 
+(* Causal cost ledger: a small fixed-seed loadgen replay through a real
+   engine, its per-phase attribution, and the exact what-if ranking over
+   the recorded requests. The cold-class phase quantiles land in the
+   artifact keyed "phase:<name>" so Doctor DR042 can compare a live
+   ledger against this committed baseline. *)
+let ledger_cfg =
+  {
+    Service.Loadgen.default_config with
+    requests = 2_000;
+    batch = 8;
+    window_width = 100;
+    window_buckets = 8;
+    engine =
+      { Service.Engine.default_config with max_evals = 8; batch_size = 4; reps = 1 };
+  }
+
+let ledger_mix =
+  [
+    { Service.Loadgen.mix_label = "mm";
+      mix_dsl = "C[i j] = Sum([k], A[i k] * B[k j])";
+      weight = 3 };
+    { Service.Loadgen.mix_label = "tiny";
+      mix_dsl = "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])";
+      weight = 1 };
+  ]
+
+let run_ledger () =
+  timed "ledger" (fun () ->
+      let r = Service.Loadgen.run ~record:true ledger_cfg ledger_mix in
+      let rep = Obs.Ledger.report r.ledger in
+      print_string (Obs.Ledger.render rep);
+      print_newline ();
+      let wr =
+        Obs.Whatif.run ~slo:ledger_cfg.slo ~width:ledger_cfg.window_width
+          ~buckets:ledger_cfg.window_buckets r.records
+      in
+      print_string (Obs.Whatif.render wr);
+      print_newline ();
+      List.filter_map
+        (fun (cls, phase, (st : Obs.Ledger.stat)) ->
+          if cls = Obs.Ledger.Cold then
+            Some
+              ( "phase:" ^ Obs.Ledger.phase_name phase,
+                {
+                  Obs.Bench_log.q50 = st.st_p50_s;
+                  q90 = st.st_p90_s;
+                  q99 = st.st_p99_s;
+                } )
+          else None)
+        rep.lr_cells)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-suite: one Test.make per table/figure, each running a
    reduced-size regeneration of that experiment's pipeline so that several
@@ -348,6 +405,20 @@ let bench_drift () =
       (Obs.Drift.monitors r)
   done
 
+let bench_ledger () =
+  (* the ledger observe path: cell lookup, Welford update, one sketch
+     insertion per phase, exemplar slot maintenance *)
+  let l = Obs.Ledger.create ~slot_width:250 () in
+  let rng = Util.Rng.create 3 in
+  for t = 0 to 2047 do
+    let h = 1e-4 *. exp (Util.Rng.gaussian rng) in
+    let costs =
+      [ (Obs.Ledger.Canonicalize, 0.10 *. h); (Obs.Ledger.Lookup, 0.15 *. h);
+        (Obs.Ledger.Queue, 0.05 *. h); (Obs.Ledger.Measure, 0.70 *. h) ]
+    in
+    Obs.Ledger.observe l ~tick:t ~cls:Obs.Ledger.Warm ~ok:true ~latency_s:h costs
+  done
+
 let bechamel_tests =
   let open Bechamel in
   [
@@ -361,6 +432,7 @@ let bechamel_tests =
     Test.make ~name:"netopt:treesa-line12" (Staged.stage bench_netopt);
     Test.make ~name:"telemetry:metrics-observe" (Staged.stage bench_telemetry);
     Test.make ~name:"drift:observe" (Staged.stage bench_drift);
+    Test.make ~name:"ledger:observe" (Staged.stage bench_ledger);
   ]
 
 let clock_label = "monotonic-clock"
@@ -432,6 +504,7 @@ let runners =
     ("netopt", run_netopt);
     ("telemetry", run_telemetry);
     ("drift", run_drift);
+    ("ledger", run_ledger);
     ("bechamel", run_bechamel);
   ]
 

@@ -499,7 +499,8 @@ let cmd_batch =
         let responses, events =
           Obs.Trace.collect (fun () -> Service.Engine.batch svc requests)
         in
-        Obs.Export.write_chrome_trace path events;
+        Obs.Export.write_chrome_trace ~dropped:(Obs.Trace.dropped ()) path
+          events;
         Printf.printf "wrote %s (%d spans)\n" path (List.length events);
         responses
     in
@@ -553,7 +554,7 @@ let cmd_trace =
     let response, events =
       Obs.Trace.collect (fun () -> Service.Engine.tune_dsl svc src)
     in
-    Obs.Export.write_chrome_trace out events;
+    Obs.Export.write_chrome_trace ~dropped:(Obs.Trace.dropped ()) out events;
     let cats =
       List.sort_uniq compare (List.map (fun (e : Obs.Trace.event) -> e.cat) events)
     in
@@ -1246,15 +1247,38 @@ let cmd_loadgen =
             "Write the machine-readable replay report (JSON, deterministic \
              for a fixed seed) to FILE.")
   in
-  let run () journal cfg out =
+  let ledger_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the causal cost ledger replay file (per-phase report, \
+             exemplars with journal run ids, and the per-request records \
+             the 'whatif' subcommand replays) to FILE. Deterministic for a \
+             fixed seed.")
+  in
+  let run () journal cfg out ledger_out =
+    let entries = load_journal journal in
     let mix = load_mix journal in
-    let r = Service.Loadgen.run cfg mix in
+    let record = ledger_out <> None in
+    let r =
+      Service.Loadgen.run ~record
+        ~run_ids:(Service.Loadgen.run_ids_of_journal entries)
+        cfg mix
+    in
     print_string (Service.Loadgen.render r);
     (match out with
     | Some path ->
       Util.Fs.write_file path
         (Obs.Json.to_string ~indent:true (Service.Loadgen.report_json r));
       Printf.printf "wrote replay report to %s\n" path
+    | None -> ());
+    (match ledger_out with
+    | Some path ->
+      Util.Fs.write_file path
+        (Obs.Json.to_string (Obs.Whatif.file_json (Service.Loadgen.ledger_file r)));
+      Printf.printf "wrote ledger replay file to %s\n" path
     | None -> ());
     if not (Obs.Slo.ok r.verdict) || r.alarms <> [] then exit 1
   in
@@ -1265,7 +1289,9 @@ let cmd_loadgen =
           engine, stream the modeled latencies through sliding telemetry \
           windows, and exit nonzero if the final SLO verdict pages or (with \
           --monitor) a change-point monitor alarms.")
-    Term.(const run $ setup_logs $ journal_file_arg $ loadgen_config_term $ out_arg)
+    Term.(
+      const run $ setup_logs $ journal_file_arg $ loadgen_config_term $ out_arg
+      $ ledger_out_arg)
 
 let cmd_slo =
   let report_arg =
@@ -1341,6 +1367,16 @@ let cmd_doctor =
             "Replay report written by 'loadgen --out' (SLO verdict, drift \
              alarms, serve counts) or a bare SLO report.")
   in
+  let ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Ledger replay file written by 'loadgen --ledger-out' (or a bare \
+             ledger report): enables the DR04x phase-attribution findings \
+             and the worst-request exemplar jump.")
+  in
   let json_arg =
     Arg.(
       value & flag
@@ -1362,7 +1398,8 @@ let cmd_doctor =
             "Winner-time ratio slack before a diverging lineage counts as a \
              critical kernel regression (default 0.25).")
   in
-  let run () journal bench slo json mispredict_threshold time_tolerance =
+  let run () journal bench slo ledger json mispredict_threshold time_tolerance
+      =
     let entries, discarded = Obs.Journal.load journal in
     let bench =
       match bench with
@@ -1383,9 +1420,30 @@ let cmd_doctor =
           | Ok l -> Some l
           | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)))
     in
+    let ledger =
+      match ledger with
+      | None -> None
+      | Some path -> (
+        match Obs.Json.parse (Util.Fs.read_file path) with
+        | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+        | Ok j -> (
+          (* a full --ledger-out replay file embeds the report under
+             "ledger"; a bare report document is the report itself *)
+          let doc = Option.value ~default:j (Obs.Json.member "ledger" j) in
+          match Obs.Ledger.report_of_json doc with
+          | Ok r -> Some r
+          | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)))
+    in
     let report =
       Obs.Doctor.diagnose ~mispredict_threshold ~time_tolerance
-        { Obs.Doctor.journal = entries; discarded; bench; load; extra_alarms = [] }
+        {
+          Obs.Doctor.journal = entries;
+          discarded;
+          bench;
+          load;
+          ledger;
+          extra_alarms = [];
+        }
     in
     if json then
       print_endline (Obs.Json.to_string ~indent:true (Obs.Doctor.to_json report))
@@ -1402,7 +1460,154 @@ let cmd_doctor =
           eviction). Exits nonzero on a critical finding.")
     Term.(
       const run $ setup_logs $ journal_file_arg $ bench_arg $ slo_arg
-      $ json_arg $ mispredict_arg $ tolerance_arg)
+      $ ledger_arg $ json_arg $ mispredict_arg $ tolerance_arg)
+
+(* ---------------- ledger / whatif (causal cost ledger) ---------------- *)
+
+let read_ledger_file path =
+  match Obs.Json.parse (Util.Fs.read_file path) with
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  | Ok j -> (
+    match Obs.Whatif.file_of_json j with
+    | Ok f -> f
+    | Error msg -> failwith (Printf.sprintf "%s: %s" path msg))
+
+let ledger_file_arg =
+  Arg.(
+    value & pos 0 string "ledger.json"
+    & info [] ~docv:"FILE"
+        ~doc:"Ledger replay file written by 'loadgen --ledger-out'.")
+
+let cmd_ledger =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable ledger report.")
+  in
+  let prom_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus exposition of the per-phase and per-class \
+             histograms rebuilt from the recorded requests.")
+  in
+  let run () path json prom_out =
+    let f = read_ledger_file path in
+    if json then
+      print_endline
+        (Obs.Json.to_string ~indent:true (Obs.Ledger.report_json f.f_ledger))
+    else print_string (Obs.Ledger.render f.f_ledger);
+    match prom_out with
+    | None -> ()
+    | Some out ->
+      (* the report holds quantile summaries, not sketches; rebuild the
+         ledger from the raw records for a faithful histogram exposition *)
+      if f.f_records = [] then
+        failwith "--prom-out needs the per-request records (loadgen --ledger-out writes them)";
+      let t = Obs.Ledger.create ~slot_width:f.f_ledger.lr_slot_width () in
+      List.iter
+        (fun (r : Obs.Whatif.record) ->
+          let costs =
+            List.map (fun (p, v) -> (p, v *. r.rq_mult)) r.rq_costs
+          in
+          let latency =
+            List.fold_left (fun acc (_, v) -> acc +. v) 0.0 costs
+          in
+          Obs.Ledger.observe t ~tick:r.rq_tick ~cls:r.rq_class ~ok:r.rq_ok
+            ~latency_s:latency costs)
+        f.f_records;
+      Util.Fs.write_file out (Obs.Ledger.prometheus t);
+      Printf.printf "wrote Prometheus exposition to %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "ledger"
+       ~doc:
+         "Render the causal cost ledger of a recorded replay: per-phase \
+          cost quantiles split by serve class (cold/warm/dedup), phase \
+          shares of modeled time, and the worst-request exemplars that \
+          link slow p99 slots back to journal runs.")
+    Term.(const run $ setup_logs $ ledger_file_arg $ json_arg $ prom_arg)
+
+let cmd_whatif =
+  let factors_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.5; 0.25; 0.1 ]
+      & info [ "factors" ] ~docv:"F,F,..."
+          ~doc:
+            "Speedup factors to apply to each phase's modeled cost \
+             (default 0.5,0.25,0.1).")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-top" ] ~docv:"PHASE"
+          ~doc:
+            "Exit nonzero unless the causal ranking's top phase is PHASE \
+             (the CI gate pinning where the next perf PR must aim).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable what-if report.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable ranking to FILE (bit-identical \
+             across runs of the same replay file).")
+  in
+  let run () path factors expect_top json out =
+    let f = read_ledger_file path in
+    if f.Obs.Whatif.f_records = [] then
+      failwith
+        "the replay file has no per-request records; re-run loadgen with \
+         --ledger-out to record them";
+    let report =
+      Obs.Whatif.run ~factors ?slo:f.f_slo ~width:f.f_width
+        ~buckets:f.f_buckets f.f_records
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string ~indent:true (Obs.Whatif.report_json report))
+    else print_string (Obs.Whatif.render report);
+    (match out with
+    | Some p ->
+      Util.Fs.write_file p (Obs.Json.to_string (Obs.Whatif.report_json report));
+      Printf.printf "wrote what-if ranking to %s\n" p
+    | None -> ());
+    match expect_top with
+    | None -> ()
+    | Some name -> (
+      match Obs.Ledger.phase_of_name name with
+      | None -> failwith (Printf.sprintf "unknown phase %S" name)
+      | Some expected -> (
+        match Obs.Whatif.top report with
+        | Some actual when actual = expected -> ()
+        | top ->
+          Printf.eprintf
+            "whatif: expected top phase %s, ranking says %s\n" name
+            (match top with
+            | Some p -> Obs.Ledger.phase_name p
+            | None -> "(empty)");
+          exit 1))
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:
+         "Exact causal profiling over a recorded replay: virtually speed \
+          up each phase by the given factors, recompute every request's \
+          latency, and rank phases by their true p99 impact. Deterministic \
+          - two runs over the same file are bit-identical.")
+    Term.(
+      const run $ setup_logs $ ledger_file_arg $ factors_arg $ expect_arg
+      $ json_arg $ out_arg)
 
 (* ---------------- main ---------------- *)
 
@@ -1434,6 +1639,8 @@ let subcommands =
     ("slo", "render the SLO verdict of a saved replay report");
     ("dash", "replay with a live text dashboard of the telemetry window");
     ("doctor", "correlate journal/bench/SLO artifacts into a health report");
+    ("ledger", "render the per-phase causal cost ledger of a recorded replay");
+    ("whatif", "rank phases by exact causal p99 impact (virtual speedups)");
   ]
 
 let usage_screen =
@@ -1458,7 +1665,8 @@ let () =
       [ cmd_variants; cmd_tcr; cmd_space; cmd_annotations; cmd_tune; cmd_cuda;
         cmd_driver; cmd_c; cmd_inspect; cmd_check; cmd_batch; cmd_stats; cmd_trace;
         cmd_report; cmd_profile; cmd_net; cmd_archs; cmd_history; cmd_explain;
-        cmd_replay; cmd_loadgen; cmd_slo; cmd_dash; cmd_doctor ]
+        cmd_replay; cmd_loadgen; cmd_slo; cmd_dash; cmd_doctor; cmd_ledger;
+        cmd_whatif ]
   in
   match Array.to_list Sys.argv with
   | [ _ ] | _ :: ("--help" | "-h" | "help") :: _ ->

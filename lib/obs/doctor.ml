@@ -71,11 +71,19 @@ type inputs = {
   discarded : int;
   bench : Bench_log.artifact option;
   load : load option;
+  ledger : Ledger.report option;
   extra_alarms : Drift.alarm list;
 }
 
 let no_inputs =
-  { journal = []; discarded = 0; bench = None; load = None; extra_alarms = [] }
+  {
+    journal = [];
+    discarded = 0;
+    bench = None;
+    load = None;
+    ledger = None;
+    extra_alarms = [];
+  }
 
 type report = {
   runs : int;
@@ -291,6 +299,132 @@ let check_discarded n =
       };
     ]
 
+(* ---------------- ledger checks (DR04x) ---------------- *)
+
+let check_ledger_dominant ledger =
+  match ledger with
+  | None -> []
+  | Some (r : Ledger.report) -> (
+    match r.Ledger.lr_phase_share with
+    | [] -> []
+    | (p, share) :: _ ->
+      [
+        {
+          code = "DR040";
+          severity = Info;
+          subject = "ledger";
+          stage = None;
+          suspects = [];
+          detail =
+            spf
+              "phase %s dominates modeled serve time (%.1f%% of %d requests): \
+               it is the first candidate for the next perf PR"
+              (Ledger.phase_name p) (100. *. share) r.Ledger.lr_requests;
+        };
+      ])
+
+(* Queue wait is pure scheduling, not work: when it owns more than a
+   quarter of modeled time, adding capacity beats optimizing any phase. *)
+let check_ledger_queue ledger =
+  match ledger with
+  | None -> []
+  | Some (r : Ledger.report) -> (
+    match List.assoc_opt Ledger.Queue r.Ledger.lr_phase_share with
+    | Some share when share > 0.25 ->
+      [
+        {
+          code = "DR041";
+          severity = Warning;
+          subject = "scheduler-queue";
+          stage = None;
+          suspects = [ ("queue-wait", Float.min 1.0 (share /. 0.5)) ];
+          detail =
+            spf
+              "scheduler queue wait owns %.1f%% of modeled serve time \
+               (threshold 25%%): batch slots, not phase work, dominate p99"
+              (100. *. share);
+        };
+      ]
+    | _ -> [])
+
+(* Cold-class phase p99 against the committed ledger bench experiment
+   (quantile keys "phase:<name>"): a 2x ratio means the serving replay sees
+   a phase far above what the bench artifact says it costs. *)
+let check_ledger_bench ledger bench =
+  match (ledger, bench) with
+  | Some (r : Ledger.report), Some (b : Bench_log.artifact) ->
+    let baseline =
+      List.concat_map
+        (fun (e : Bench_log.experiment) ->
+          if e.name = "ledger" then e.quantiles else [])
+        b.experiments
+    in
+    List.filter_map
+      (fun (cls, p, (s : Ledger.stat)) ->
+        if cls <> Ledger.Cold then None
+        else
+          match
+            List.assoc_opt (spf "phase:%s" (Ledger.phase_name p)) baseline
+          with
+          | Some (q : Bench_log.quantiles)
+            when q.q99 > 0. && s.Ledger.st_p99_s > 2. *. q.q99 ->
+            Some
+              {
+                code = "DR042";
+                severity = Warning;
+                subject = spf "phase/%s" (Ledger.phase_name p);
+                stage = None;
+                suspects =
+                  [
+                    ( "phase-regression",
+                      Float.min 1.0 (s.Ledger.st_p99_s /. (4. *. q.q99)) );
+                  ];
+                detail =
+                  spf
+                    "cold %s p99 %.3g s is %.1fx the ledger bench baseline \
+                     %.3g s: this phase regressed since the artifact was \
+                     committed"
+                    (Ledger.phase_name p) s.Ledger.st_p99_s
+                    (s.Ledger.st_p99_s /. q.q99) q.q99;
+              }
+          | _ -> None)
+      r.Ledger.lr_cells
+  | _ -> []
+
+(* The exemplar jump: from the worst p99 bucket straight to the journal
+   run that produced it. *)
+let check_ledger_exemplar ledger =
+  match ledger with
+  | None -> []
+  | Some (r : Ledger.report) -> (
+    match r.Ledger.lr_worst with
+    | Some (e : Ledger.exemplar) ->
+      [
+        {
+          code = "DR043";
+          severity = Info;
+          subject = "exemplar";
+          stage = None;
+          suspects = [];
+          detail =
+            spf
+              "worst request: tick %d, %s serve, %.3g s, dominated by %s%s%s"
+              e.Ledger.ex_tick
+              (Ledger.class_name e.Ledger.ex_class)
+              e.Ledger.ex_latency_s
+              (Ledger.phase_name e.Ledger.ex_phase)
+              (match e.Ledger.ex_label with
+              | Some l -> spf " (key %s)" l
+              | None -> "")
+              (match e.Ledger.ex_run_id with
+              | Some id ->
+                spf " - inspect with: explain %s / history --since %s"
+                  (Journal.short id) (Journal.short id)
+              | None -> "");
+        };
+      ]
+    | None -> [])
+
 (* Ranked suspects for the critical (symptom) findings, scored from the
    corroborating (cause) findings; falls back to serving-regression when
    nothing journal-side scores. *)
@@ -304,7 +438,10 @@ let attribution cause_findings =
       0. cause_findings
   in
   let names =
-    [ "arch-change"; "kernel-regression"; "surrogate-drift"; "cache-eviction" ]
+    [
+      "arch-change"; "kernel-regression"; "surrogate-drift"; "cache-eviction";
+      "queue-wait"; "phase-regression";
+    ]
   in
   let scored =
     List.filter_map
@@ -376,6 +513,8 @@ let diagnose ?(mispredict_threshold = 0.5) ?(time_tolerance = 0.25) inputs =
     @ check_kernel_drift ~time_tolerance gs
     @ check_surrogate ~mispredict_threshold gs
     @ check_cache inputs.load
+    @ check_ledger_queue inputs.ledger
+    @ check_ledger_bench inputs.ledger inputs.bench
   in
   let suspects = attribution causes in
   let stage = stage_of causes in
@@ -388,6 +527,8 @@ let diagnose ?(mispredict_threshold = 0.5) ?(time_tolerance = 0.25) inputs =
     @ check_alarms alarms ~suspects ~stage
     @ causes
     @ check_bench inputs.bench inputs.load
+    @ check_ledger_dominant inputs.ledger
+    @ check_ledger_exemplar inputs.ledger
     @ check_discarded inputs.discarded
   in
   let findings =

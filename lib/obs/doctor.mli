@@ -27,11 +27,23 @@
     - [DR020] (warning) - a bench-artifact service quantile already
       exceeds the SLO latency budget (cross-artifact corroboration).
     - [DR030] (info) - the journal had undecodable (torn/corrupt) lines.
+    - [DR040] (info) - the {!Ledger} report's dominant phase: the first
+      candidate for the next perf PR.
+    - [DR041] (warning) - scheduler queue wait owns more than 25% of
+      modeled serve time (capacity, not phase work, is the bottleneck).
+    - [DR042] (warning) - a cold-class phase p99 in the ledger is more
+      than 2x the committed [ledger] bench experiment's
+      ["phase:<name>"] quantile (the phase regressed vs the artifact).
+    - [DR043] (info) - the exemplar jump: names the worst request's
+      tick, serve class, dominant phase and journal run id, so one
+      [explain]/[history --since] lands on the exact tuning run behind
+      the slowest p99 bucket.
 
     Critical findings carry ranked suspects - [arch-change],
-    [kernel-regression], [surrogate-drift], [cache-eviction], falling
-    back to [serving-regression] when no journal-side cause scores -
-    with scores in [0, 1] derived from the corroborating findings.
+    [kernel-regression], [surrogate-drift], [cache-eviction],
+    [queue-wait], [phase-regression], falling back to
+    [serving-regression] when no journal-side cause scores - with
+    scores in [0, 1] derived from the corroborating findings.
 
     Everything here is pure over its inputs: no wall-clock reads, no RNG,
     so the same artifacts produce a bit-identical report. *)
@@ -67,6 +79,7 @@ type inputs = {
   discarded : int;  (** undecodable journal lines *)
   bench : Bench_log.artifact option;
   load : load option;
+  ledger : Ledger.report option;  (** from [loadgen --ledger-out] *)
   extra_alarms : Drift.alarm list;  (** live monitors beyond the report *)
 }
 

@@ -36,7 +36,7 @@ let chrome_pid_names events =
   let cats = List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.cat) events) in
   List.mapi (fun i c -> (c, i + 1)) cats
 
-let chrome_trace (events : Trace.event list) =
+let chrome_trace ?(dropped = 0) (events : Trace.event list) =
   let t_min =
     List.fold_left (fun acc (e : Trace.event) -> min acc e.t0) infinity events
   in
@@ -116,12 +116,18 @@ let chrome_trace (events : Trace.event list) =
         (fun (e : Trace.event) -> if e.parent = None then emit e)
         mine)
     domains;
-  Buffer.add_string buf "]}";
+  Buffer.add_string buf "]";
+  (* drops at the Trace buffer cap would otherwise vanish silently; viewers
+     ignore otherData, tooling can alert on it *)
+  if dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf ",\"otherData\":{\"dropped_spans\":%d}" dropped);
+  Buffer.add_string buf "}";
   Buffer.contents buf
 
-let write_chrome_trace path events =
+let write_chrome_trace ?dropped path events =
   let oc = open_out path in
-  output_string oc (chrome_trace events);
+  output_string oc (chrome_trace ?dropped events);
   close_out oc
 
 (* ---------------- Prometheus text exposition ---------------- *)

@@ -9,10 +9,12 @@ val json_escape : string -> string
     fields, span id, parent id and attributes in [args], plus process-name
     metadata naming each category's track. Begin/end pairs are emitted
     depth-first per domain, so they are balanced and correctly nested in
-    file order. Timestamps are microseconds relative to the earliest span. *)
-val chrome_trace : Trace.event list -> string
+    file order. Timestamps are microseconds relative to the earliest span.
+    A positive [dropped] (spans lost at the {!Trace.capacity} cap, see
+    {!Trace.dropped}) is recorded in an [otherData] object. *)
+val chrome_trace : ?dropped:int -> Trace.event list -> string
 
-val write_chrome_trace : string -> Trace.event list -> unit
+val write_chrome_trace : ?dropped:int -> string -> Trace.event list -> unit
 
 (** Sanitize a user-derived metric name for the Prometheus exposition
     format: illegal characters map to [_], and a leading digit gains a [_]

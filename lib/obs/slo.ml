@@ -224,3 +224,5 @@ let render r =
                                              a.detail))
     r.alerts;
   Buffer.contents b
+
+let spec_to_json = spec_json

@@ -62,3 +62,9 @@ val ok : report -> bool
 val to_json : report -> Json.t
 val of_json : Json.t -> (report, string) result
 val render : report -> string
+
+(** Round-trip a bare spec (used by the {!Whatif} replay file, which
+    records the spec the ledger replay ran under). *)
+val spec_to_json : spec -> Json.t
+
+val spec_of_json : Json.t -> (spec, string) result

@@ -30,15 +30,26 @@ let enabled_flag = Atomic.make false
 let next_id = Atomic.make 1
 let registry_lock = Mutex.create ()
 
-(* One completed-span buffer per domain that ever traced; kept after the
-   domain dies so its spans survive until export. *)
-let buffers : event list ref list ref = ref []
+(* Per-domain buffers are capped so a runaway traced loop cannot grow the
+   sink without bound; spans past the cap are counted, not recorded. *)
+let default_capacity = 65536
+let capacity_flag = Atomic.make default_capacity
+let dropped_count = Atomic.make 0
 
-type dstate = { mutable stack : int list; buf : event list ref }
+(* One completed-span buffer per domain that ever traced; kept after the
+   domain dies so its spans survive until export. [count] shadows the
+   buffer length so the capacity check is O(1) on the span hot path; it is
+   only ever mutated by the owning domain or under [registry_lock] while
+   tracing is quiescent (clear). *)
+type buffer = { events : event list ref; count : int ref }
+
+let buffers : buffer list ref = ref []
+
+type dstate = { mutable stack : int list; buf : buffer }
 
 let dls : dstate Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      let buf = ref [] in
+      let buf = { events = ref []; count = ref 0 } in
       Mutex.lock registry_lock;
       buffers := buf :: !buffers;
       Mutex.unlock registry_lock;
@@ -46,10 +57,23 @@ let dls : dstate Domain.DLS.key =
 
 let enabled () = Atomic.get enabled_flag
 
+let capacity () = Atomic.get capacity_flag
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  Atomic.set capacity_flag n
+
+let dropped () = Atomic.get dropped_count
+
 let clear () =
   Mutex.lock registry_lock;
-  List.iter (fun b -> b := []) !buffers;
-  Mutex.unlock registry_lock
+  List.iter
+    (fun b ->
+      b.events := [];
+      b.count := 0)
+    !buffers;
+  Mutex.unlock registry_lock;
+  Atomic.set dropped_count 0
 
 let start () =
   clear ();
@@ -59,9 +83,18 @@ let stop () = Atomic.set enabled_flag false
 
 let events () =
   Mutex.lock registry_lock;
-  let all = List.concat_map (fun b -> !b) !buffers in
+  let all = List.concat_map (fun b -> !(b.events)) !buffers in
   Mutex.unlock registry_lock;
   List.sort (fun a b -> compare (a.t0, a.id) (b.t0, b.id)) all
+
+(* Append on the owning domain, honouring the capacity cap. *)
+let push (buf : buffer) ev =
+  if !(buf.count) >= Atomic.get capacity_flag then
+    Atomic.incr dropped_count
+  else begin
+    buf.events := ev :: !(buf.events);
+    incr buf.count
+  end
 
 (* ---------------- spans ---------------- *)
 
@@ -82,9 +115,8 @@ let with_span ?(cat = "") ?attrs name f =
       let attrs =
         (match attrs with None -> [] | Some thunk -> thunk ()) @ span.extra
       in
-      d.buf :=
+      push d.buf
         { id; parent; name; cat; domain = (Domain.self () :> int); t0; t1; attrs }
-        :: !(d.buf)
     in
     Fun.protect ~finally:finish (fun () -> f span)
   end
@@ -100,9 +132,8 @@ let instant ?(cat = "") ?(attrs = []) name =
     let id = Atomic.fetch_and_add next_id 1 in
     let parent = match d.stack with [] -> None | p :: _ -> Some p in
     let t = Unix.gettimeofday () in
-    d.buf :=
+    push d.buf
       { id; parent; name; cat; domain = (Domain.self () :> int); t0 = t; t1 = t; attrs }
-      :: !(d.buf)
   end
 
 (* Run [f] with tracing enabled on a fresh sink; return its value and the

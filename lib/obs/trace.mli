@@ -31,13 +31,29 @@ val null_span : span
 
 val enabled : unit -> bool
 
+(** Per-domain buffer capacity (default 65536 spans). A domain at
+    capacity counts further spans as dropped instead of recording them,
+    so a runaway traced loop cannot grow the sink without bound. *)
+val capacity : unit -> int
+
+(** Raises [Invalid_argument] below 1. Takes effect immediately on all
+    domains; buffers already over the new cap keep their events but
+    record nothing further. *)
+val set_capacity : int -> unit
+
+(** Spans dropped at capacity since the last {!start}/{!clear}. Surfaced
+    by the exporters ({!Export.chrome_trace} [otherData], Prometheus
+    [dropped_spans] counter) and [Engine.stats_report]. *)
+val dropped : unit -> int
+
 (** Clear the sink and enable recording. *)
 val start : unit -> unit
 
 (** Disable recording; recorded events stay available via {!events}. *)
 val stop : unit -> unit
 
-(** Drop all recorded events (recording state unchanged). *)
+(** Drop all recorded events and reset the {!dropped} counter (recording
+    state unchanged). *)
 val clear : unit -> unit
 
 (** All completed spans, merged across domains, sorted by begin time.

@@ -312,6 +312,9 @@ let prometheus_report t =
           ("front", Tuning_cache.size t.cache);
         ]
       ~timers:[] ()
+  ^ Obs.Export.prometheus ~prefix:"barracuda_trace"
+      ~counters:[ ("dropped_spans", Obs.Trace.dropped ()) ]
+      ~timers:[] ()
 
 (* Human-readable SURF convergence report for one response (empty history
    for cache hits: no search ran). *)
@@ -323,7 +326,16 @@ let convergence_report (r : response) =
    self-watching drift monitors. *)
 let stats_report t =
   let s = cache_stats t in
+  let drops =
+    match Obs.Trace.dropped () with
+    | 0 -> ""
+    | n ->
+      Printf.sprintf
+        "trace:\n  dropped %d span%s at the %d-span buffer cap\n" n
+        (if n = 1 then "" else "s")
+        (Obs.Trace.capacity ())
+  in
   Printf.sprintf
-    "%scache:\n  hits %d (disk %d)  misses %d  corrupt %d  stores %d  evictions %d  front %d\n%s"
+    "%scache:\n  hits %d (disk %d)  misses %d  corrupt %d  stores %d  evictions %d  front %d\n%s%s"
     (Metrics.render t.metrics) s.hits s.disk_loads s.misses s.corrupt s.stores s.evictions
-    (Tuning_cache.size t.cache) (Obs.Drift.render t.drift)
+    (Tuning_cache.size t.cache) drops (Obs.Drift.render t.drift)

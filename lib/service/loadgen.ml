@@ -34,6 +34,7 @@ type config = {
   hit_cost_s : float;
   tune_base_s : float;
   eval_cost_s : float;
+  queue_cost_s : float;
   window_width : int;
   window_buckets : int;
   slo : Obs.Slo.spec;
@@ -53,6 +54,7 @@ let default_config =
     hit_cost_s = 2e-4;
     tune_base_s = 1e-3;
     eval_cost_s = 2e-3;
+    queue_cost_s = 5e-6;
     window_width = 250;
     window_buckets = 8;
     slo = Obs.Slo.default_spec;
@@ -71,20 +73,65 @@ type result = {
   metrics : Metrics.t;
   drift : Obs.Drift.registry option;
   alarms : Obs.Drift.alarm list;
+  ledger : Obs.Ledger.t;
+  records : Obs.Whatif.record list;
   wall_s : float;
 }
 
-(* Modeled service time of one response: hits cost a restore, deduplicated
-   requests ride a concurrent equivalent's work (half a hit), cold tunes
-   pay per evaluation. *)
-let model_latency cfg (r : Engine.response) =
+let serve_class (r : Engine.response) =
+  match r.served with
+  | Engine.Tuned -> Obs.Ledger.Cold
+  | Engine.Memory_hit | Engine.Disk_hit -> Obs.Ledger.Warm
+  | Engine.Deduplicated -> Obs.Ledger.Dedup
+
+(* Modeled service time of one response, decomposed by phase. Every class
+   pays canonicalization + cache lookup plus a queue wait growing with its
+   batch position; warm hits pay a restore measurement (0.75 hit), dedups
+   ride a concurrent equivalent's work (0.25 hit), and cold tunes split
+   the paper's pipeline - enumerate/prune/gate/surrogate/codegen/store
+   shares of the base tune cost plus the per-evaluation measure cost.
+   Per class the shares sum to the former scalar model (hit = 1.0 hit,
+   dedup = 0.5 hit, cold = tune_base + evals * eval_cost) up to the new
+   additive queue term, so existing SLO budgets stay calibrated. *)
+let phase_costs cfg (r : Engine.response) ~position =
+  let h = cfg.hit_cost_s and t = cfg.tune_base_s in
+  let common =
+    [
+      (Obs.Ledger.Canonicalize, 0.10 *. h);
+      (Obs.Ledger.Lookup, 0.15 *. h);
+      (Obs.Ledger.Queue, cfg.queue_cost_s *. float_of_int position);
+    ]
+  in
   match r.served with
   | Engine.Tuned ->
-    cfg.tune_base_s +. (cfg.eval_cost_s *. float_of_int r.result.Autotune.Tuner.evaluations)
-  | Engine.Memory_hit | Engine.Disk_hit -> cfg.hit_cost_s
-  | Engine.Deduplicated -> cfg.hit_cost_s /. 2.0
+    common
+    @ [
+        (Obs.Ledger.Enumerate, 0.30 *. t);
+        (Obs.Ledger.Prune, 0.10 *. t);
+        (Obs.Ledger.Gate, 0.15 *. t);
+        (Obs.Ledger.Surrogate, 0.25 *. t);
+        (Obs.Ledger.Measure,
+         cfg.eval_cost_s *. float_of_int r.result.Autotune.Tuner.evaluations);
+        (Obs.Ledger.Codegen, 0.15 *. t);
+        (Obs.Ledger.Store, 0.05 *. t);
+      ]
+  | Engine.Memory_hit | Engine.Disk_hit ->
+    common @ [ (Obs.Ledger.Measure, 0.75 *. h) ]
+  | Engine.Deduplicated -> common @ [ (Obs.Ledger.Measure, 0.25 *. h) ]
 
-let run ?on_frame ?frame_every cfg classes =
+(* Latest journal run id per canonical DSL, so ledger exemplars can name
+   the tuning run behind a slow request. *)
+let run_ids_of_journal entries =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Obs.Journal.entry) ->
+      if not (Hashtbl.mem tbl e.dsl) then order := e.dsl :: !order;
+      Hashtbl.replace tbl e.dsl e.run_id)
+    entries;
+  List.rev_map (fun dsl -> (dsl, Hashtbl.find tbl dsl)) !order
+
+let run ?on_frame ?frame_every ?(record = false) ?(run_ids = []) cfg classes =
   if classes = [] then invalid_arg "Loadgen.run: empty request mix";
   if cfg.requests < 1 then invalid_arg "Loadgen.run: requests must be >= 1";
   let t0 = Unix.gettimeofday () in
@@ -93,6 +140,8 @@ let run ?on_frame ?frame_every cfg classes =
   let window =
     Obs.Window.create ~width:cfg.window_width ~buckets:cfg.window_buckets ()
   in
+  let ledger = Obs.Ledger.create ~slot_width:cfg.window_width () in
+  let records = ref [] in
   let total_weight = List.fold_left (fun acc m -> acc + m.weight) 0 classes in
   let pick () =
     let w = Util.Rng.int rng total_weight in
@@ -135,14 +184,19 @@ let run ?on_frame ?frame_every cfg classes =
           { Engine.label = m.mix_label; src = m.mix_dsl })
     in
     let responses = Engine.batch svc reqs in
-    List.iter
-      (fun (r : Engine.response) ->
+    let position = ref (-1) in
+    List.iter2
+      (fun (req : Engine.request) (r : Engine.response) ->
         Stdlib.incr tick;
+        Stdlib.incr position;
         let degrade = if !tick >= cfg.degrade_at then cfg.degrade else 1.0 in
-        let latency =
-          model_latency cfg r *. degrade
-          *. exp (cfg.jitter *. Util.Rng.gaussian rng)
-        in
+        (* one multiplier for the whole request, so the scaled per-phase
+           costs sum exactly to the latency (the ledger reconciliation
+           invariant, and what lets Whatif scale one phase exactly) *)
+        let mult = degrade *. exp (cfg.jitter *. Util.Rng.gaussian rng) in
+        let costs = phase_costs cfg r ~position:!position in
+        let base = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 costs in
+        let latency = base *. mult in
         let ok = not (Util.Rng.float rng 1.0 < cfg.error_rate) in
         if not ok then Stdlib.incr errors;
         (match drift with
@@ -156,12 +210,27 @@ let run ?on_frame ?frame_every cfg classes =
         | Some c -> Stdlib.incr c
         | None -> Hashtbl.add served name (ref 1));
         Obs.Window.observe window ~now:!tick ~ok latency;
+        let cls = serve_class r in
+        Obs.Ledger.observe ledger ~label:r.label ~key:r.key
+          ?run_id:(List.assoc_opt req.src run_ids)
+          ~tick:!tick ~cls ~ok ~latency_s:latency
+          (List.map (fun (p, v) -> (p, v *. mult)) costs);
+        if record then
+          records :=
+            {
+              Obs.Whatif.rq_tick = !tick;
+              rq_class = cls;
+              rq_ok = ok;
+              rq_mult = mult;
+              rq_costs = costs;
+            }
+            :: !records;
         if !tick + 1 >= !next_frame then begin
           (match on_frame with Some f -> f window ~now:!tick | None -> ());
           next_frame :=
             !next_frame + (match frame_every with Some k -> k | None -> max_int)
         end)
-      responses
+      reqs responses
   done;
   let verdict = Obs.Slo.evaluate cfg.slo window ~now:!tick in
   {
@@ -179,7 +248,23 @@ let run ?on_frame ?frame_every cfg classes =
     drift;
     alarms =
       (match drift with None -> [] | Some r -> Obs.Drift.all_alarms r);
+    ledger;
+    records = List.rev !records;
     wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(* Everything the ledger/whatif CLI subcommands need to re-derive the
+   replay offline: the ledger report plus (when [run ~record:true]) the
+   raw per-request cost records. *)
+let ledger_file r =
+  {
+    Obs.Whatif.f_requests = r.total;
+    f_seed = r.cfg.seed;
+    f_width = r.cfg.window_width;
+    f_buckets = r.cfg.window_buckets;
+    f_slo = Some r.cfg.slo;
+    f_ledger = Obs.Ledger.report r.ledger;
+    f_records = r.records;
   }
 
 let render r =
@@ -201,6 +286,7 @@ let render r =
        (100.0 *. float_of_int r.errors /. float_of_int r.total));
   Buffer.add_string b (Obs.Window.render r.window ~now:r.ticks);
   Buffer.add_string b (Obs.Slo.render r.verdict);
+  Buffer.add_string b (Obs.Ledger.render (Obs.Ledger.report r.ledger));
   (match r.drift with
   | Some reg -> Buffer.add_string b (Obs.Drift.render reg)
   | None -> ());
@@ -240,6 +326,7 @@ let report_json r =
             ("sketch_buckets", Obs.Json.int (Obs.Sketch.bucket_count snap.sketch));
           ] );
       ("slo", Obs.Slo.to_json r.verdict);
+      ("ledger", Obs.Ledger.report_json (Obs.Ledger.report r.ledger));
     ]
     @
     match r.drift with

@@ -12,18 +12,31 @@
     Determinism: the logical clock is the request index (one tick per
     request, no wall-clock reads on the hot path), and the latency fed to
     the windows is a documented deterministic model of service time - a
-    per-serve-class base cost ([hit_cost_s], or [tune_base_s +
-    eval_cost_s * evaluations] for cold tunes) times fixed-seed lognormal
-    jitter - not a wall-clock measurement. Engine results are themselves
-    deterministic for a fixed seed, so a replay is bit-identical across
-    runs: {!report_json} excludes wall time for exactly this reason.
-    Errors are injected with probability [error_rate] from the same RNG so
-    the error-budget side of the SLO is exercised.
+    per-phase cost decomposition (see below) summed and multiplied by
+    fixed-seed lognormal jitter - not a wall-clock measurement. Engine
+    results are themselves deterministic for a fixed seed, so a replay is
+    bit-identical across runs: {!report_json} excludes wall time for
+    exactly this reason. Errors are injected with probability
+    [error_rate] from the same RNG so the error-budget side of the SLO is
+    exercised.
 
-    Memory is bounded: window state is O(buckets) sketches and the engine
-    metrics retain at most {!Metrics.raw_sample_cap} raw samples per
-    timer, so replaying 10^4-10^6 requests does not grow storage with the
-    request count. *)
+    Latency model: each request's base cost is a sum of per-phase costs
+    ({!Obs.Ledger.phase}). Every class pays canonicalize (0.10 hit) +
+    lookup (0.15 hit) + queue ([queue_cost_s] x batch position); warm
+    hits add a 0.75-hit restore measure, dedups a 0.25-hit share, and
+    cold tunes split [tune_base_s] across
+    enumerate/prune/gate/surrogate/codegen/store (0.30/0.10/0.15/0.25/
+    0.15/0.05) plus [eval_cost_s * evaluations] of measure. The whole
+    vector is scaled by one jitter x degrade multiplier, so the scaled
+    phase costs sum {e exactly} to the end-to-end latency - the
+    {!Obs.Ledger} reconciliation invariant, and the property that lets
+    {!Obs.Whatif} compute causal phase impacts exactly.
+
+    Memory is bounded: window state is O(buckets) sketches, the ledger is
+    O(classes x phases) sketch cells plus a fixed exemplar ring, and the
+    engine metrics retain at most {!Metrics.raw_sample_cap} raw samples
+    per timer, so replaying 10^4-10^6 requests does not grow storage with
+    the request count ([record] opts into O(requests) what-if records). *)
 
 type mix = { mix_label : string; mix_dsl : string; weight : int }
 
@@ -50,6 +63,7 @@ type config = {
   hit_cost_s : float;  (** modeled service cost of a cache hit *)
   tune_base_s : float;  (** modeled fixed cost of a cold tune *)
   eval_cost_s : float;  (** modeled cost per SURF evaluation *)
+  queue_cost_s : float;  (** modeled queue wait per batch position *)
   window_width : int;  (** logical ticks per window epoch *)
   window_buckets : int;  (** epochs in the window ring *)
   slo : Obs.Slo.spec;
@@ -76,25 +90,44 @@ type result = {
       (** change-point alarms fired during the replay, tick order; [[]]
           when [monitor] is off. Deterministic: two identical replays
           alarm at identical ticks. *)
+  ledger : Obs.Ledger.t;  (** per-phase cost accounting of the replay *)
+  records : Obs.Whatif.record list;
+      (** per-request what-if records in tick order; [[]] unless the
+          replay ran with [record] *)
   wall_s : float;  (** real wall time of the replay (not in the JSON) *)
 }
 
+(** Latest journal run id per canonical DSL, in first-appearance order:
+    passed to {!run} as [run_ids] so ledger exemplars can name the tuning
+    run behind a slow request. *)
+val run_ids_of_journal : Obs.Journal.entry list -> (string * string) list
+
 (** Run the replay. [on_frame] (with [frame_every] ticks, default none)
-    is called during the replay for live dashboards. Raises
-    [Invalid_argument] on an empty mix or a non-positive request count. *)
+    is called during the replay for live dashboards. [record] (default
+    false) keeps per-request {!Obs.Whatif} records for causal what-if
+    profiling - the one opt-in that grows with the request count.
+    [run_ids] maps canonical DSL to journal run id for exemplars (see
+    {!run_ids_of_journal}). Raises [Invalid_argument] on an empty mix or
+    a non-positive request count. *)
 val run :
   ?on_frame:(Obs.Window.t -> now:int -> unit) ->
   ?frame_every:int ->
+  ?record:bool ->
+  ?run_ids:(string * string) list ->
   config ->
   mix list ->
   result
+
+(** Package a result as the {!Obs.Whatif.file} that [loadgen
+    --ledger-out] writes and the [ledger]/[whatif] subcommands read. *)
+val ledger_file : result -> Obs.Whatif.file
 
 (** Human-readable summary: mix, serve counts, window dashboard, SLO
     verdict, throughput. *)
 val render : result -> string
 
 (** Machine-readable report for CI: config echo, class mix, serve counts,
-    window-tail quantiles, the SLO verdict and (when monitoring) the
-    drift-monitor summary with its alarms. Deterministic for a fixed
-    seed (no wall times, no timestamps). *)
+    window-tail quantiles, the SLO verdict, the ledger report and (when
+    monitoring) the drift-monitor summary with its alarms. Deterministic
+    for a fixed seed (no wall times, no timestamps). *)
 val report_json : result -> Obs.Json.t

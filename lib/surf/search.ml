@@ -168,10 +168,21 @@ let surf ?(config = default_config) ?eval_batch rng ~pool ~encode ~eval =
           Array.of_list (List.rev_map (fun e -> encode e.config) !history)
         in
         let y = Array.of_list (List.rev_map (fun e -> e.objective) !history) in
-        let model = Forest.fit ~params:config.forest (Util.Rng.split rng) x y in
+        let model =
+          Obs.Trace.with_span ~cat:"surf"
+            ~attrs:(fun () ->
+              [ ("points", string_of_int (Array.length x)) ])
+            "surf.fit"
+            (fun _ -> Forest.fit ~params:config.forest (Util.Rng.split rng) x y)
+        in
         final_model := Some model;
         let scored =
-          List.map (fun c -> (Forest.predict model (encode c), c)) !remaining
+          Obs.Trace.with_span ~cat:"surf"
+            ~attrs:(fun () ->
+              [ ("points", string_of_int (List.length !remaining)) ])
+            "surf.predict"
+            (fun _ ->
+              List.map (fun c -> (Forest.predict model (encode c), c)) !remaining)
         in
         let sorted = List.sort (fun (a, _) (b, _) -> compare a b) scored in
         let chosen = List.filteri (fun i _ -> i < bs) sorted in

@@ -33,4 +33,5 @@ let () =
       ("netopt", Test_netopt.suite);
       ("telemetry", Test_telemetry.suite);
       ("drift", Test_drift.suite);
+      ("ledger", Test_ledger.suite);
     ]
