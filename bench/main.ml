@@ -9,7 +9,7 @@
    Experiments (none = all, in the order below):
      claims space table2 table3 table4 figure3 surf-vs-brute ablation
      modelcheck motivation sweep service netopt telemetry drift ledger
-     bechamel
+     check bechamel
 
    Flags compose with any experiment selection; unknown --flags are an
    error, not a silently ignored subcommand:
@@ -45,7 +45,7 @@ let default_options =
 let experiment_names =
   [ "claims"; "space"; "table2"; "table3"; "table4"; "figure3"; "surf-vs-brute";
     "ablation"; "modelcheck"; "motivation"; "sweep"; "service"; "netopt";
-    "telemetry"; "drift"; "ledger"; "bechamel" ]
+    "telemetry"; "drift"; "ledger"; "check"; "bechamel" ]
 
 let usage () =
   Printf.eprintf
@@ -271,6 +271,49 @@ let drift_table () =
 
 let run_drift () = table "drift" drift_table
 
+(* Translation validation: throughput of the semantic layer on fixed
+   candidates - the cost of proving a tuned winner computes its
+   contraction. "points" is the field evaluations of the DSL oracle per
+   round times the five lineage stages times the round count; every row
+   asserts the candidate actually validates. *)
+let check_table () =
+  let rounds = Check.Semantic.default_rounds in
+  let row (b : Autotune.Tuner.benchmark) =
+    let c = List.hd (Autotune.Tuner.variant_choices b) in
+    let points =
+      List.map
+        (fun s -> List.hd (Tcr.Space.enumerate s))
+        c.Autotune.Tuner.spaces.op_spaces
+    in
+    let t0 = Unix.gettimeofday () in
+    let v =
+      Check.Semantic.validate ~rounds ~label:b.label b.statements
+        ~variant_ids:c.Autotune.Tuner.ids ~ir:c.Autotune.Tuner.v_ir ~points
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    assert v.Check.Semantic.equivalent;
+    let pts = Check.Semantic.cost b.statements * 5 * rounds in
+    [ b.label; string_of_int pts;
+      Util.Table.cell_f (wall *. 1e3);
+      Util.Table.cell_f (float_of_int pts /. wall /. 1e6) ]
+  in
+  let rows =
+    List.map row
+      [
+        Autotune.Tuner.benchmark_of_dsl ~label:"matmul-32"
+          "dims: i=32 j=32 k=32\nC[i j] = Sum([k], A[i k] * B[k j])";
+        Benchsuite.Suite.eqn1 ~n:10 ();
+        Benchsuite.Suite.lg3 ~p:6 ~elems:16 ();
+      ]
+  in
+  Util.Table.create
+    ~title:
+      (Printf.sprintf "Translation validation throughput (%d rounds, seed %#x)"
+         rounds Check.Semantic.default_seed)
+    ([ "benchmark"; "points"; "wall (ms)"; "Mpoints/s" ] :: rows)
+
+let run_check () = table "check" check_table
+
 (* Causal cost ledger: a small fixed-seed loadgen replay through a real
    engine, its per-phase attribution, and the exact what-if ranking over
    the recorded requests. The cold-class phase quantiles land in the
@@ -419,6 +462,30 @@ let bench_ledger () =
     Obs.Ledger.observe l ~tick:t ~cls:Obs.Ledger.Warm ~ok:true ~latency_s:h costs
   done
 
+let check_fixture =
+  (* parsed/enumerated once: the micro-benchmark times only the validate
+     path (oracle + four stage interpreters over the prime field) *)
+  lazy
+    (let b =
+       Autotune.Tuner.benchmark_of_dsl ~label:"matmul-16"
+         "dims: i=16 j=16 k=16\nC[i j] = Sum([k], A[i k] * B[k j])"
+     in
+     let c = List.hd (Autotune.Tuner.variant_choices b) in
+     let points =
+       List.map
+         (fun s -> List.hd (Tcr.Space.enumerate s))
+         c.Autotune.Tuner.spaces.op_spaces
+     in
+     (b, c, points))
+
+let bench_check () =
+  let b, c, points = Lazy.force check_fixture in
+  let v =
+    Check.Semantic.validate ~rounds:1 ~label:b.label b.statements
+      ~variant_ids:c.Autotune.Tuner.ids ~ir:c.Autotune.Tuner.v_ir ~points
+  in
+  assert v.Check.Semantic.equivalent
+
 let bechamel_tests =
   let open Bechamel in
   [
@@ -433,6 +500,7 @@ let bechamel_tests =
     Test.make ~name:"telemetry:metrics-observe" (Staged.stage bench_telemetry);
     Test.make ~name:"drift:observe" (Staged.stage bench_drift);
     Test.make ~name:"ledger:observe" (Staged.stage bench_ledger);
+    Test.make ~name:"check:semantic-validate" (Staged.stage bench_check);
   ]
 
 let clock_label = "monotonic-clock"
@@ -505,6 +573,7 @@ let runners =
     ("telemetry", run_telemetry);
     ("drift", run_drift);
     ("ledger", run_ledger);
+    ("check", run_check);
     ("bechamel", run_bechamel);
   ]
 

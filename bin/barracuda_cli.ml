@@ -760,27 +760,93 @@ let cmd_check =
       & info [ "no-lints" ]
           ~doc:"Errors only: skip the warning-level kernel lints.")
   in
-  let run () file expr einsum tcr net_file sc_target arch json max_points no_lints =
+  let semantic_flag =
+    Arg.(
+      value & flag
+      & info [ "semantic" ]
+          ~doc:
+            "Also run translation validation: evaluate the five lineage \
+             stages (dsl, variant, tcr, recipe, kernel) of the first variant \
+             on random points of the prime field and prove them equivalent \
+             (BAR06x on disagreement).")
+  in
+  let diff_flag =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Print each lineage stage's output digest from the first \
+             validation round (implies --semantic).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int Check.Semantic.default_rounds
+      & info [ "rounds" ] ~docv:"K"
+          ~doc:"Schwartz-Zippel rounds for --semantic.")
+  in
+  let sz_seed_arg =
+    Arg.(
+      value & opt int Check.Semantic.default_seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for --semantic's random field points.")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"NAME"
+          ~doc:
+            "Self-test: inject a known-bad kernel mutation before validation \
+             (swap-index, corrupt-stride, drop-accumulation, \
+             barrier-divergence) and verify it is caught (implies \
+             --semantic).")
+  in
+  let run () file expr einsum tcr net_file sc_target arch json max_points no_lints
+      semantic diff rounds sz_seed mutate =
     let lints = not no_lints in
-    let report =
+    let semantic = semantic || diff || mutate <> None in
+    let mutate_kernel =
+      match mutate with
+      | None -> None
+      | Some name -> (
+        match Check.Mutate.of_name name with
+        | Some m -> Some (fun k -> fst (Check.Mutate.apply m k))
+        | None ->
+          failwith
+            (Printf.sprintf "unknown mutation %S (have: %s)" name
+               (String.concat ", " (List.map Check.Mutate.name Check.Mutate.all))))
+    in
+    let report, bench =
       match (tcr, net_file) with
       | Some _, Some _ -> failwith "give at most one of --tcr, --net"
       | Some path, None ->
+        if semantic then
+          failwith "--semantic validates DSL or --net programs, not --tcr";
         let text = Util.Fs.read_file path in
         let ir = Tcr.Read.program ~validate:false text in
-        { Check.Verify.empty_report with diags = Check.Verify.ir ir }
+        ({ Check.Verify.empty_report with diags = Check.Verify.ir ir }, None)
       | None, Some path ->
         (* network-stage diagnostics; tree findings only when the network
            itself is sound enough to optimize *)
         let net = Netopt.Network.of_file path in
         let diags = Netopt.Network.validate net in
-        let diags =
-          if Check.Diag.has_errors diags then diags
-          else
-            diags
-            @ Netopt.Tree.check ~sc_target net (Netopt.Greedy.optimize net)
+        let tree =
+          if Check.Diag.has_errors diags then None
+          else Some (Netopt.Greedy.optimize net)
         in
-        { Check.Verify.empty_report with diags }
+        let diags =
+          match tree with
+          | None -> diags
+          | Some t -> diags @ Netopt.Tree.check ~sc_target net t
+        in
+        (* the semantic stage validates the network via its DSL lowering -
+           the same source a network tune feeds the pipeline *)
+        let bench =
+          match tree with
+          | Some t when semantic -> Some (Barracuda.parse (Netopt.Lower.to_dsl net t))
+          | _ -> None
+        in
+        ({ Check.Verify.empty_report with diags }, bench)
       | None, None ->
         let src = read_program file expr einsum in
         let b = Barracuda.parse src in
@@ -791,9 +857,59 @@ let cmd_check =
                 c.spaces ))
             (Autotune.Tuner.variant_choices b)
         in
-        Check.Verify.program ~lints ?max_points_per_op:max_points ~arch labeled
+        ( Check.Verify.program ~lints ?max_points_per_op:max_points ~arch labeled,
+          Some b )
     in
-    if json then print_endline (Obs.Json.to_string (Check.Verify.report_json report))
+    (* translation validation of the first variant choice at its first
+       enumerated point - a fixed, reproducible candidate *)
+    let verdict =
+      match bench with
+      | Some (b : Autotune.Tuner.benchmark) when semantic ->
+        let c = List.hd (Autotune.Tuner.variant_choices b) in
+        let points =
+          List.map
+            (fun s -> List.hd (Tcr.Space.enumerate s))
+            c.Autotune.Tuner.spaces.op_spaces
+        in
+        Some
+          (Check.Semantic.validate ~rounds ~seed:sz_seed ?mutate_kernel
+             ~label:b.label b.statements ~variant_ids:c.Autotune.Tuner.ids
+             ~ir:c.Autotune.Tuner.v_ir ~points)
+      | _ -> None
+    in
+    let report =
+      match verdict with
+      | None -> report
+      | Some v -> { report with diags = report.diags @ v.Check.Semantic.diags }
+    in
+    if json then begin
+      let j = Check.Verify.report_json report in
+      let j =
+        match (verdict, j) with
+        | Some v, Obs.Json.Obj fields ->
+          Obs.Json.Obj
+            (fields
+            @ [
+                ( "semantic",
+                  Obs.Json.Obj
+                    ([
+                       ("equivalent", Obs.Json.Bool v.Check.Semantic.equivalent);
+                       ("rounds_run", Obs.Json.int v.rounds_run);
+                     ]
+                    @ (match v.failed_stage with
+                      | None -> []
+                      | Some s -> [ ("failed_stage", Obs.Json.Str s) ])
+                    @ [
+                        ( "stages",
+                          Obs.Json.Obj
+                            (List.map (fun (n, d) -> (n, Obs.Json.Str d)) v.stages)
+                        );
+                      ]) );
+              ])
+        | _ -> j
+      in
+      print_endline (Obs.Json.to_string j)
+    end
     else begin
       if report.variants > 0 then
         Printf.printf "verified %d variant%s: %d search points, %d kernels%s\n"
@@ -801,10 +917,22 @@ let cmd_check =
           (if report.variants = 1 then "" else "s")
           report.points_checked report.kernels_checked
           (if report.truncated then " (per-op point cap reached)" else "");
-      Printf.printf "errors %d, warnings %d, infos %d\n"
-        (List.length (Check.Diag.errors report.diags))
-        (List.length (Check.Diag.warnings report.diags))
-        (List.length (Check.Diag.infos report.diags));
+      print_endline (Check.Verify.summary_line report);
+      (match verdict with
+      | None -> ()
+      | Some v ->
+        Printf.printf "translation validation: %s (%d round%s, seed %d)\n"
+          (if v.Check.Semantic.equivalent then "equivalent across all five stages"
+           else
+             Printf.sprintf "FAILED at the %s stage"
+               (Option.value ~default:"?" v.failed_stage))
+          v.rounds_run
+          (if v.rounds_run = 1 then "" else "s")
+          sz_seed;
+        if diff then begin
+          Printf.printf "stage digests (round 1):\n";
+          List.iter (fun (name, d) -> Printf.printf "  %-8s %s\n" name d) v.stages
+        end);
       if report.diags <> [] then begin
         print_newline ();
         print_string (Check.Diag.render_report report.diags)
@@ -816,12 +944,15 @@ let cmd_check =
     (Cmd.info "check"
        ~doc:
          "Statically verify a tensor program end to end: TCR well-formedness, \
-          recipe legality of every search point, and kernel resource analysis \
-          (bounds proof, registers, launch limits) for every variant. Exits \
-          nonzero when any error-severity diagnostic is found.")
+          recipe legality of every search point, kernel resource analysis \
+          (bounds proof, registers, launch limits) and symbolic access facts \
+          (exact coalescing, bank conflicts, barriers) for every variant, \
+          plus (--semantic) translation validation over the prime field. \
+          Exits nonzero when any error-severity diagnostic is found.")
     Term.(
       const run $ setup_logs $ file_arg $ expr_arg $ einsum_arg $ tcr_arg $ net_arg
-      $ sc_target_arg $ arch_arg $ json_flag $ max_points_arg $ no_lints_flag)
+      $ sc_target_arg $ arch_arg $ json_flag $ max_points_arg $ no_lints_flag
+      $ semantic_flag $ diff_flag $ rounds_arg $ sz_seed_arg $ mutate_arg)
 
 (* ---------------- net (tensor-network contraction orders) ----------- *)
 
@@ -1624,7 +1755,9 @@ let subcommands =
     ("driver", "tune and emit a standalone CUDA driver");
     ("c", "emit sequential C or OpenACC renderings");
     ("inspect", "tune and print the per-kernel performance-model breakdown");
-    ("check", "statically verify a program across all variants and points");
+    ( "check",
+      "statically verify a program across all variants and points \
+       (--semantic adds translation validation)" );
     ("batch", "serve many requests via the tuning service (cache + domains)");
     ("stats", "inspect a persistent tuning-cache directory");
     ("trace", "tune with tracing on; write a Chrome trace-event JSON");

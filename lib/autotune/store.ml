@@ -157,6 +157,7 @@ let restore_result ?(reps = 100) ~arch (b : Tuner.benchmark) (s : saved) =
     importances = [];
     explain = None;
     gate = Check.Verify.empty_stats;
+    semantic = None;
   }
 
 let load_file (b : Tuner.benchmark) path =

@@ -42,6 +42,9 @@ type result = {
   explain : candidate Surf.Search.explain option;  (* surrogate post-mortem *)
   gate : Check.Verify.gate_stats;
   (* what the static pre-evaluation gate saw; empty when it was off *)
+  semantic : Check.Semantic.verdict option;
+  (* translation validation of the winner; None when the semantic gate was
+     off or the DSL oracle's cost exceeded Check.Semantic.gate_budget *)
 }
 
 let benchmark_of_dsl ~label src =
@@ -153,8 +156,8 @@ type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
    flight-recorder entry (canonical problem key, RNG seed, contraction-order
    provenance); they never influence the tune. *)
 let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
-    ?(pool_per_variant = 600) ?prune ?(static_gate = true) ?batch_map
-    ?(journal_key = "") ?(journal_seed = -1) ?journal_net ~rng ~arch
+    ?(pool_per_variant = 600) ?prune ?(static_gate = true) ?(semantic_gate = true)
+    ?batch_map ?(journal_key = "") ?(journal_seed = -1) ?journal_net ~rng ~arch
     (b : benchmark) =
   Obs.Trace.with_span ~cat:"autotune"
     ~attrs:(fun () -> [ ("label", b.label); ("arch", arch.Gpusim.Arch.name) ])
@@ -264,6 +267,35 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
       m "%s on %s: best %.3g s after %d evaluations (variant %s)" b.label arch.Gpusim.Arch.name
         best_report.Gpusim.Gpu.kernel_time_s search_result.evaluations
         (String.concat "." (List.map string_of_int best.variant_ids)));
+  (* Translation validation of the winner, after the search settled: runs
+     with its own fixed seed and draws nothing from the tuner RNG, so a
+     fixed-seed tune is bit-identical with the semantic gate on or off.
+     Skipped (None) above the DSL oracle's cost budget - the naive einsum
+     is the spec, so its cost is irreducible. *)
+  let semantic =
+    if not semantic_gate then None
+    else if Check.Semantic.cost b.statements > Check.Semantic.gate_budget then begin
+      Log.debug (fun m ->
+          m "%s: semantic gate skipped (dsl oracle cost %d exceeds budget %d)"
+            b.label (Check.Semantic.cost b.statements) Check.Semantic.gate_budget);
+      None
+    end
+    else
+      Obs.Trace.with_span ~cat:"autotune" "tune.semantic" (fun span ->
+          let v =
+            Check.Semantic.validate ~label:b.label b.statements
+              ~variant_ids:best.variant_ids ~ir:best.ir ~points:best.points
+          in
+          Obs.Trace.add_attrs span
+            [ ("equivalent", string_of_bool v.Check.Semantic.equivalent) ];
+          if not v.Check.Semantic.equivalent then
+            Log.err (fun m ->
+                m "%s: winner FAILED translation validation at the %s stage:\n%s"
+                  b.label
+                  (Option.value ~default:"?" v.Check.Semantic.failed_stage)
+                  (Check.Diag.render_report v.Check.Semantic.diags));
+          Some v)
+  in
   let time_per_eval_s = Gpusim.Gpu.amortized_time best_report ~reps in
   let importances =
     match search_result.explain with
@@ -327,6 +359,8 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
         gate_rejected = !gate_rejected;
         gate_diags = (gate_stats ()).by_code;
         network = journal_net;
+        semantic_ok =
+          Option.map (fun (v : Check.Semantic.verdict) -> v.equivalent) semantic;
         iterations = search_result.iterations;
         variants = List.map variant_of search_result.history;
         winner = variant_of search_result.best;
@@ -368,6 +402,7 @@ let tune ?(strategy = Surf_search Surf.Search.default_config) ?(reps = 100)
     importances;
     explain = search_result.explain;
     gate = gate_stats ();
+    semantic;
   }
 
 (* Emit the tuned CUDA for a result. *)

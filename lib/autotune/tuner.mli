@@ -43,6 +43,11 @@ type result = {
       (** what the static pre-evaluation gate saw (points checked/rejected,
           error codes); {!Check.Verify.empty_stats} when the gate was off
           or the result was restored from an artifact *)
+  semantic : Check.Semantic.verdict option;
+      (** translation validation of the winner ({!Check.Semantic.validate});
+          [None] when the semantic gate was off, the DSL oracle's cost
+          exceeded {!Check.Semantic.gate_budget}, or the result was
+          restored from an artifact *)
 }
 
 val benchmark_of_dsl : label:string -> string -> benchmark
@@ -85,6 +90,14 @@ type strategy = Surf_search of Surf.Search.config | Random_search | Exhaustive
     rejects every candidate, tuning falls back to the ungated pool (with a
     warning) rather than failing.
 
+    [semantic_gate] (default [true]) runs translation validation
+    ({!Check.Semantic.validate}) on the winner after the search settles,
+    with its own fixed seed - no draws from the tuner RNG, so a fixed-seed
+    tune is bit-identical with the gate on or off. The verdict lands in
+    the result and (as [semantic_ok]) in the journal entry; validation is
+    skipped when the DSL oracle's cost exceeds
+    {!Check.Semantic.gate_budget}.
+
     [journal_key], [journal_seed] and [journal_net] annotate the
     {!Obs.Journal} entry (canonical problem key, RNG seed, contraction-order
     provenance for network-originated tunes) when the flight recorder is on;
@@ -95,6 +108,7 @@ val tune :
   ?pool_per_variant:int ->
   ?prune:Tcr.Prune.policy ->
   ?static_gate:bool ->
+  ?semantic_gate:bool ->
   ?batch_map:((unit -> Gpusim.Gpu.report) list -> Gpusim.Gpu.report list) ->
   ?journal_key:string ->
   ?journal_seed:int ->

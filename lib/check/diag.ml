@@ -10,13 +10,21 @@
      BAR01x  TCR well-formedness errors (layer 1)
      BAR02x  recipe/search-point legality errors (layer 2)
      BAR03x  kernel/architecture resource errors (layer 3)
-     BAR04x  kernel-quality lints (warnings, layer 3)
+     BAR04x  kernel-quality lints (warnings, layer 3; superseded by the
+             proven BAR07x access facts - the codes stay reserved)
      BAR05x  tensor-network stage (lib/netopt: network IR validation and
-             contraction-tree checks, ahead of the DSL front end) *)
+             contraction-tree checks, ahead of the DSL front end)
+     BAR06x  translation validation (lib/check/semantic.ml: prime-field
+             equivalence of the five lineage stages dsl -> variant -> tcr
+             -> recipe -> kernel; the code names the earliest stage that
+             stopped agreeing with its parent)
+     BAR07x  symbolic access analysis (lib/check/access.ml: exact affine
+             facts - grid-wide coalescing transactions, shared-memory bank
+             conflicts, barrier-under-divergence, static smem budget) *)
 
 type severity = Error | Warning | Info
 
-type stage = Network | Tcr | Recipe | Kernel
+type stage = Network | Tcr | Recipe | Kernel | Semantic
 
 type t = {
   code : string;  (* stable "BARxxx" identifier *)
@@ -32,6 +40,7 @@ let stage_name = function
   | Tcr -> "tcr"
   | Recipe -> "recipe"
   | Kernel -> "kernel"
+  | Semantic -> "semantic"
 
 (* Errors sort first, then warnings, then infos; ties by code. *)
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
@@ -53,6 +62,16 @@ let warnings ds = List.filter (fun d -> d.severity = Warning) ds
 let infos ds = List.filter (fun d -> d.severity = Info) ds
 let has_errors ds = List.exists (fun d -> d.severity = Error) ds
 
+(* Per-severity counts: (errors, warnings, infos). *)
+let severity_counts ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
 (* Occurrences per code, sorted by code: the journal/metrics summary. *)
 let by_code ds =
   let tbl = Hashtbl.create 16 in
@@ -67,7 +86,11 @@ let render d =
     (stage_name d.stage) d.site d.message
 
 (* Collapse repeats of the same finding across search points: identical
-   (code, severity, stage, site, message) tuples render once with a count. *)
+   (code, severity, stage, site, message) tuples render once with a count.
+   First-seen order is preserved - a report reads in the order the pipeline
+   produced its stages, deterministically, instead of interleaving stages
+   by code; callers that want severity-major order sort with
+   {!compare_diag} themselves. *)
 let dedup ds =
   let tbl = Hashtbl.create 64 in
   let order = ref [] in
@@ -80,7 +103,6 @@ let dedup ds =
         order := d :: !order)
     ds;
   List.rev_map (fun d -> (d, Hashtbl.find tbl d)) !order
-  |> List.sort (fun (a, _) (b, _) -> compare_diag a b)
 
 let render_report ds =
   let b = Buffer.create 512 in

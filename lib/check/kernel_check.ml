@@ -128,59 +128,11 @@ let check_dims (arch : Gpusim.Arch.t) (k : Codegen.Kernel.t) =
   in
   nonpos @ block @ grid
 
-(* The coalescing threshold: a fully diverged warp costs 32 transactions;
-   flag anything at or beyond half that. *)
-let uncoalesced_threshold = 16.0
-
-let low_occupancy_threshold = 0.25
-
-(* BAR040..BAR043: quality lints. *)
-let quality_lints (arch : Gpusim.Arch.t) (k : Codegen.Kernel.t) =
-  let coalescing =
-    List.filter_map
-      (fun (r : Gpusim.Coalesce.ref_analysis) ->
-        if r.transactions_per_warp >= uncoalesced_threshold then
-          Some
-            (Diag.warning Diag.Kernel ~code:"BAR040" ~site:k.name
-               "loads of %s average %.1f transactions per warp (uncoalesced)" r.name
-               r.transactions_per_warp)
-        else None)
-      (Gpusim.Coalesce.analyze_output k :: Gpusim.Coalesce.analyze k)
-  in
-  let occ = Gpusim.Occupancy.analyze arch k in
-  let occupancy =
-    if occ.occupancy < low_occupancy_threshold then
-      [
-        Diag.warning Diag.Kernel ~code:"BAR041" ~site:k.name
-          "occupancy %.2f (%s-limited) is below %.2f" occ.occupancy occ.limited_by
-          low_occupancy_threshold;
-      ]
-    else []
-  in
-  let tpb = Codegen.Kernel.threads_per_block k in
-  let partial_warp =
-    if tpb < arch.warp_size then
-      [
-        Diag.warning Diag.Kernel ~code:"BAR042" ~site:k.name
-          "block of %d threads does not fill a %d-lane warp" tpb arch.warp_size;
-      ]
-    else []
-  in
-  let blocks = Codegen.Kernel.num_blocks k in
-  let grid_cover =
-    if blocks < arch.sm_count then
-      [
-        Diag.warning Diag.Kernel ~code:"BAR043" ~site:k.name
-          "grid of %d block%s leaves %d of %d SMs idle" blocks
-          (if blocks = 1 then "" else "s")
-          (arch.sm_count - blocks) arch.sm_count;
-      ]
-    else []
-  in
-  coalescing @ occupancy @ partial_warp @ grid_cover
-
-(* Errors always; [~lints:false] skips the warning-level analyses (the
-   tuner's gate only needs the errors). *)
+(* Errors always - including the access analysis's BAR072 (barrier under
+   divergence) and BAR077 (shared memory over budget); [~lints:false]
+   skips the warning-level analyses (the tuner's gate only needs the
+   errors). The old heuristic BAR040-043 lints are superseded by the
+   exact BAR07x facts of [Access]. *)
 let check ?(lints = true) (arch : Gpusim.Arch.t) (k : Codegen.Kernel.t) =
-  check_bounds k @ check_registers arch k @ check_dims arch k
-  @ (if lints then quality_lints arch k else [])
+  check_bounds k @ check_registers arch k @ check_dims arch k @ Access.errors k
+  @ (if lints then Access.lints arch k else [])

@@ -5,14 +5,10 @@
     elements - the symbolic out-of-bounds proof (BAR030), register demand
     overflowing one SM's register file (BAR031), a block over the device's
     thread limit (BAR032), grid dimensions over the device's launch limits
-    (BAR033), non-positive launch dimensions (BAR034). Lints (warnings):
-    uncoalesced references at or beyond {!uncoalesced_threshold}
-    transactions per warp (BAR040), occupancy below
-    {!low_occupancy_threshold} (BAR041), a block smaller than one warp
-    (BAR042), a grid that leaves SMs idle (BAR043). *)
-
-val uncoalesced_threshold : float
-val low_occupancy_threshold : float
+    (BAR033), non-positive launch dimensions (BAR034), plus the access
+    analysis's barrier-under-divergence (BAR072) and shared-memory budget
+    (BAR077) errors. The lint pass delegates to {!Access}: the exact
+    BAR07x facts supersede the old heuristic BAR040-043 lints. *)
 
 (** Largest value the kernel's own grid/block/loop structure drives index
     [i] through (1 when the kernel never drives it). *)

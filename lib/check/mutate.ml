@@ -1,0 +1,116 @@
+(* Mutation self-test harness for the semantic validator: four named kernel
+   mutations, each a realistic lowering bug, each caught by a specific
+   stable diagnostic code. Permuting loop orders is deliberately NOT here:
+   sums commute, so reordering is semantically harmless - the validator
+   must accept it, and the mutations must be genuine bugs.
+
+   - swap-index: swap two dims of a factor reference (a transposed access
+     pattern); caught as BAR063, kernel vs recipe.
+   - corrupt-stride: bump one entry of the kernel's own extents table, so
+     every stride computed from it is wrong; caught as BAR063 - either as
+     wrong values or as a bounds violation, both kernel-stage divergence.
+   - drop-accumulation: truncate the innermost reduction loop to a single
+     iteration (the classic lost "+=" bug - visible even though outputs
+     start at zero, because the partial sum differs from the full one);
+     caught as BAR063.
+   - barrier-divergence: stage the first factor through a shared tile
+     whose __syncthreads() sits inside a divergent guard; semantically
+     neutral under sequential interpretation, so it is caught not by the
+     validator but by the access analysis as BAR072. *)
+
+type t =
+  | Swap_factor_indices
+  | Corrupt_stride
+  | Drop_accumulation
+  | Barrier_under_divergence
+
+let all =
+  [ Swap_factor_indices; Corrupt_stride; Drop_accumulation; Barrier_under_divergence ]
+
+let name = function
+  | Swap_factor_indices -> "swap-index"
+  | Corrupt_stride -> "corrupt-stride"
+  | Drop_accumulation -> "drop-accumulation"
+  | Barrier_under_divergence -> "barrier-divergence"
+
+let of_name s =
+  match List.find_opt (fun m -> name m = s) all with
+  | Some m -> Some m
+  | None -> None
+
+(* The stable code each mutation must be caught under. *)
+let expected_code = function
+  | Swap_factor_indices | Corrupt_stride | Drop_accumulation -> "BAR063"
+  | Barrier_under_divergence -> "BAR072"
+
+let describe = function
+  | Swap_factor_indices -> "swap two index positions of a factor reference"
+  | Corrupt_stride -> "bump one extent of the kernel's stride table"
+  | Drop_accumulation -> "truncate the innermost reduction loop to one iteration"
+  | Barrier_under_divergence -> "place the staging barrier inside a divergent guard"
+
+(* Apply a mutation to one kernel. Kernels without the required structure
+   (e.g. no multi-dim factor to swap, no reduction loop to truncate) are
+   returned unchanged - [applied] reports whether anything changed so
+   harnesses can skip vacuous cases. *)
+let apply m (k : Codegen.Kernel.t) =
+  match m with
+  | Swap_factor_indices ->
+    let swapped = ref false in
+    let factors =
+      List.map
+        (fun (fname, dims) ->
+          match dims with
+          | a :: b :: rest when not !swapped ->
+            swapped := true;
+            (fname, b :: a :: rest)
+          | _ -> (fname, dims))
+        k.op.factors
+    in
+    ({ k with op = { k.op with factors } }, !swapped)
+  | Corrupt_stride -> (
+    (* bump the extent of an index that sits at position >= 1 of some
+       reference: the strides of every dim before it are products of the
+       trailing extents, so the bump genuinely corrupts an address *)
+    let refs = (k.op.out, k.op.out_indices) :: k.op.factors in
+    let candidate =
+      List.fold_left
+        (fun acc (_, dims) ->
+          match (acc, dims) with
+          | Some _, _ -> acc
+          | None, _ :: (second :: _) -> Some second
+          | None, _ -> None)
+        None refs
+    in
+    match candidate with
+    | None -> (k, false)
+    | Some i ->
+      let extents =
+        List.map
+          (fun (j, e) -> if j = i then (j, e + 1) else (j, e))
+          k.extents
+      in
+      ({ k with extents }, true))
+  | Drop_accumulation -> (
+    match
+      List.rev k.thread_loops
+      |> List.find_opt (fun (l : Codegen.Kernel.loop) -> (not l.parallel) && l.extent > 1)
+    with
+    | None -> (k, false)
+    | Some victim ->
+      let thread_loops =
+        List.map
+          (fun (l : Codegen.Kernel.loop) ->
+            if l == victim then { l with extent = 1; unroll = 1 } else l)
+          k.thread_loops
+      in
+      ({ k with thread_loops }, true))
+  | Barrier_under_divergence -> (
+    match k.op.factors with
+    | [] -> (k, false)
+    | (fname, _) :: _ ->
+      let guard = max 1 (fst k.block - 1) in
+      if guard >= fst k.block then (k, false)
+      else
+        ( Codegen.Kernel.stage_factor ~guard ~barrier_inside_guard:true k fname,
+          true ))

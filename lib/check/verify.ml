@@ -106,17 +106,36 @@ let program ?lints ?max_points_per_op ~arch variants =
     (fun acc (label, ps) -> merge acc (choice ?lints ?max_points_per_op ~label ~arch ps))
     empty_report variants
 
+(* One line suitable for the CLI's text mode: the same per-severity
+   totals the JSON "summary" block carries. *)
+let summary_line (r : report) =
+  let e, w, i = Diag.severity_counts r.diags in
+  Printf.sprintf "summary: %d error%s, %d warning%s, %d info%s" e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+    i
+    (if i = 1 then "" else "s")
+
 let report_json (r : report) =
   let open Obs.Json in
+  let e, w, i = Diag.severity_counts r.diags in
   Obj
     [
       ("variants", Num (float_of_int r.variants));
       ("points_checked", Num (float_of_int r.points_checked));
       ("kernels_checked", Num (float_of_int r.kernels_checked));
       ("truncated", Bool r.truncated);
-      ("errors", Num (float_of_int (List.length (Diag.errors r.diags))));
-      ("warnings", Num (float_of_int (List.length (Diag.warnings r.diags))));
-      ("infos", Num (float_of_int (List.length (Diag.infos r.diags))));
+      ( "summary",
+        Obj
+          [
+            ("errors", Num (float_of_int e));
+            ("warnings", Num (float_of_int w));
+            ("infos", Num (float_of_int i));
+          ] );
+      ("errors", Num (float_of_int e));
+      ("warnings", Num (float_of_int w));
+      ("infos", Num (float_of_int i));
       ( "by_code",
         Obj (List.map (fun (c, n) -> (c, Num (float_of_int n))) (Diag.by_code r.diags))
       );

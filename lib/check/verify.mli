@@ -70,4 +70,8 @@ val program :
   (string * Tcr.Space.program_space) list ->
   report
 
+(** ["summary: E errors, W warnings, I infos"] - the text-mode rendering
+    of the JSON report's per-severity ["summary"] block. *)
+val summary_line : report -> string
+
 val report_json : report -> Obs.Json.t

@@ -47,6 +47,34 @@ let offset r (env_vals : int array) =
   done;
   !off
 
+(* A shared tile for a staged factor, refreshed once per block: the tile
+   dims are decoded row-major from the linear tile element, the block-fixed
+   dims read from the current block indices. The barrier and its guard have
+   no semantic effect under sequential interpretation (the whole tile is
+   materialized before the compute loops) - barrier-under-divergence is a
+   hazard the access analysis proves absent, not a value change here. *)
+type tile_code = {
+  t_data : float array;
+  t_src : float array;
+  t_dims : (int * int) array;   (* per tile dim: extent, global stride *)
+  t_fixed : (int * int) array;  (* per block-fixed dim: slot, global stride *)
+}
+
+let refresh_tile (vals : int array) tc =
+  let base =
+    Array.fold_left (fun acc (slot, gs) -> acc + (gs * vals.(slot))) 0 tc.t_fixed
+  in
+  let m = Array.length tc.t_dims in
+  for t = 0 to Array.length tc.t_data - 1 do
+    let off = ref base and rem = ref t in
+    for j = m - 1 downto 0 do
+      let ext, gs = tc.t_dims.(j) in
+      off := !off + (gs * (!rem mod ext));
+      rem := !rem / ext
+    done;
+    tc.t_data.(t) <- tc.t_src.(!off)
+  done
+
 (* Run one kernel over its grid. Accumulates into the (pre-zeroed or
    previously accumulated) output tensor, as the generated CUDA does by
    loading the output into the scalar first. *)
@@ -71,8 +99,60 @@ let run_kernel (k : Kernel.t) (env : env) =
   in
   let vals = Array.make (Array.length slot_of) 0 in
   let out_ref = compile_ref k ~slot_of env (k.op.out, k.op.out_indices) in
+  (* staged factors: compile a shared tile per staging record *)
+  let tiles =
+    List.map
+      (fun (s : Kernel.staging) ->
+        let dims = List.assoc s.array k.arrays in
+        let tensor = find env s.array in
+        let gstrides = Tensor.Shape.strides (Tensor.Dense.shape tensor) in
+        let t_dims =
+          Array.of_list
+            (List.map
+               (fun td ->
+                 let pos =
+                   match List.mapi (fun i d -> (d, i)) dims |> List.assoc_opt td with
+                   | Some p -> p
+                   | None ->
+                     invalid_arg
+                       (Printf.sprintf "Exec: tile dim %s is not a dim of %s" td s.array)
+                 in
+                 (Kernel.extent k td, gstrides.(pos)))
+               s.tile_dims)
+        in
+        let t_fixed =
+          List.mapi (fun i dim -> (dim, i)) dims
+          |> List.filter (fun (dim, _) -> not (List.mem dim s.tile_dims))
+          |> List.map (fun (dim, pos) -> (slot dim, gstrides.(pos)))
+          |> Array.of_list
+        in
+        let t_data = Array.make (Kernel.tile_elements k s) 0.0 in
+        (s.array, { t_data; t_src = Tensor.Dense.data tensor; t_dims; t_fixed }))
+      k.staging
+  in
+  (* a staged factor reads its tile with row-major tile strides; the
+     block-fixed dims were absorbed by the per-block refresh *)
+  let compile_tile_ref (s : Kernel.staging) tc =
+    let tile_exts = List.map (Kernel.extent k) s.tile_dims in
+    let m = List.length tile_exts in
+    let tstrides =
+      List.init m (fun i ->
+          List.fold_left ( * ) 1 (List.filteri (fun j _ -> j > i) tile_exts))
+    in
+    let strides = Array.make (Array.length slot_of) 0 in
+    List.iteri
+      (fun j idx -> strides.(slot idx) <- strides.(slot idx) + List.nth tstrides j)
+      s.tile_dims;
+    { data = tc.t_data; strides }
+  in
   let factor_refs =
-    Array.of_list (List.map (compile_ref k ~slot_of env) k.op.factors)
+    Array.of_list
+      (List.map
+         (fun (name, dims) ->
+           match Kernel.staging_of k name with
+           | Some s -> compile_tile_ref s (List.assoc name tiles)
+           | None -> compile_ref k ~slot_of env (name, dims))
+         k.op.factors)
   in
   let nf = Array.length factor_refs in
   (* innermost body: one multiply-accumulate *)
@@ -144,6 +224,7 @@ let run_kernel (k : Kernel.t) (env : env) =
     Option.iter (fun s -> vals.(s) <- by) by_s;
     for bx = 0 to bx_e - 1 do
       vals.(bx_s) <- bx;
+      List.iter (fun (_, tc) -> refresh_tile vals tc) tiles;
       for ty = 0 to ty_e - 1 do
         Option.iter (fun s -> vals.(s) <- ty) ty_s;
         for tx = 0 to tx_e - 1 do

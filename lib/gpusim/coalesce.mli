@@ -22,6 +22,37 @@ val stride_of : Codegen.Kernel.t -> string list -> string -> int
 
 val transactions_per_warp : Codegen.Kernel.t -> string list -> float
 
+(** Elements per 128-byte segment (16 for 8-byte doubles). *)
+val seg_elems : int
+
+(** Element offsets of the (possibly partial) warp starting at [lane_base],
+    relative to the warp's base address: only the thread-mapped indices
+    vary across lanes. *)
+val lane_deltas : Codegen.Kernel.t -> string list -> lane_base:int -> int list
+
+(** Distribution over [Z_m] of a reference's warp-base offset: per-index
+    residue distributions of the block and serial indices convolved in
+    [Z_m] (they sweep their ranges independently). *)
+val base_residue_dist : Codegen.Kernel.t -> string list -> m:int -> float array
+
+(** Exact average transactions per warp-wide load over every warp of every
+    block and every serial iteration: for affine addresses the count
+    depends only on the base residue mod the segment size, so the grid
+    average is a finite sum over {!base_residue_dist}. *)
+val exact_transactions_per_warp : Codegen.Kernel.t -> string list -> float
+
+val num_banks : int
+
+(** Shared-memory bank-conflict degree of one warp access with the given
+    lane element offsets: 32 banks of 8-byte words, same-word lanes
+    broadcast; the degree is the max distinct words per bank and is
+    independent of the warp's base address. *)
+val bank_conflict_degree : int list -> int
+
+(** Worst {!bank_conflict_degree} across the block's warps for an access
+    laid out by [dims] (e.g. a shared tile). *)
+val warp_bank_conflict_degree : Codegen.Kernel.t -> string list -> int
+
 (** A load executes once per iteration of every serial loop outside or at
     the innermost loop its address depends on (deeper independent loops
     hoist it). *)

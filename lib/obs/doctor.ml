@@ -425,6 +425,33 @@ let check_ledger_exemplar ledger =
       ]
     | None -> [])
 
+(* ---------------- semantic-validation check (DR050) ---------------- *)
+
+(* A journaled run whose winner failed translation validation is the most
+   serious finding the doctor can raise: the tuned configuration computes
+   the wrong contraction, regardless of how fast it is. *)
+let check_semantic entries =
+  List.filter_map
+    (fun (e : Journal.entry) ->
+      match e.semantic_ok with
+      | Some false ->
+        Some
+          {
+            code = "DR050";
+            severity = Critical;
+            subject = e.label;
+            stage = None;
+            suspects = [ ("semantic-failure", 1.0) ];
+            detail =
+              spf
+                "run %s: winner FAILED translation validation - the tuned \
+                 kernel does not compute its contraction; do not deploy \
+                 (inspect with: explain %s)"
+                (Journal.short e.run_id) (Journal.short e.run_id);
+          }
+      | _ -> None)
+    entries
+
 (* Ranked suspects for the critical (symptom) findings, scored from the
    corroborating (cause) findings; falls back to serving-regression when
    nothing journal-side scores. *)
@@ -439,8 +466,8 @@ let attribution cause_findings =
   in
   let names =
     [
-      "arch-change"; "kernel-regression"; "surrogate-drift"; "cache-eviction";
-      "queue-wait"; "phase-regression";
+      "semantic-failure"; "arch-change"; "kernel-regression"; "surrogate-drift";
+      "cache-eviction"; "queue-wait"; "phase-regression";
     ]
   in
   let scored =
@@ -509,7 +536,8 @@ let check_alarms alarms ~suspects ~stage =
 let diagnose ?(mispredict_threshold = 0.5) ?(time_tolerance = 0.25) inputs =
   let gs = groups inputs.journal in
   let causes =
-    check_arch_changes gs
+    check_semantic inputs.journal
+    @ check_arch_changes gs
     @ check_kernel_drift ~time_tolerance gs
     @ check_surrogate ~mispredict_threshold gs
     @ check_cache inputs.load

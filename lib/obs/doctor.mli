@@ -38,10 +38,13 @@
       tick, serve class, dominant phase and journal run id, so one
       [explain]/[history --since] lands on the exact tuning run behind
       the slowest p99 bucket.
+    - [DR050] (critical) - a journaled run's winner failed translation
+      validation ([semantic_ok = Some false]): the tuned kernel does not
+      compute its contraction, regardless of how fast it is.
 
-    Critical findings carry ranked suspects - [arch-change],
-    [kernel-regression], [surrogate-drift], [cache-eviction],
-    [queue-wait], [phase-regression], falling back to
+    Critical findings carry ranked suspects - [semantic-failure],
+    [arch-change], [kernel-regression], [surrogate-drift],
+    [cache-eviction], [queue-wait], [phase-regression], falling back to
     [serving-regression] when no journal-side cause scores - with
     scores in [0, 1] derived from the corroborating findings.
 

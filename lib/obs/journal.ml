@@ -78,6 +78,10 @@ type entry = {
   gate_rejected : int;  (* points the gate kept out of the pool *)
   gate_diags : (string * int) list;  (* gate error occurrences per BARxxx code *)
   network : network option;  (* contraction-order provenance; None for DSL tunes *)
+  semantic_ok : bool option;
+      (* translation validation of the winner: Some true when the semantic
+         gate proved it equivalent, Some false when it did not, None when
+         the gate was off (and for entries journaled before it existed) *)
   iterations : Search_log.iteration list;
   variants : variant list;  (* every evaluated variant, evaluation order *)
   winner : variant;
@@ -172,6 +176,9 @@ let to_json e =
     @ (match e.network with
       | None -> []
       | Some n -> [ ("network", network_to_json n) ])
+    @ (match e.semantic_ok with
+      | None -> []
+      | Some ok -> [ ("semantic_ok", Json.Bool ok) ])
     @ [
        ("iterations", Json.Arr (List.map iteration_to_json e.iterations));
        ("variants", Json.Arr (List.map variant_to_json e.variants));
@@ -308,6 +315,10 @@ let of_json j =
         gate_rejected = gate_count "gate_rejected" j;
         gate_diags = gate_diags_of_json j;
         network = Option.map network_of_json (Json.member "network" j);
+        semantic_ok =
+          (match Json.member "semantic_ok" j with
+          | Some (Json.Bool b) -> Some b
+          | _ -> None);
         iterations = List.map iteration_of_json (arr "iterations" j);
         variants = List.map variant_of_json (arr "variants" j);
         winner =
@@ -496,10 +507,13 @@ let history_json entries =
               ("winner_label", Json.Str e.winner.label);
               ("winner_kernel", Json.Str e.winner.lineage.kernel_hash);
             ]
+           @ (match e.network with
+             | None -> []
+             | Some n -> [ ("network_method", Json.Str n.net_method) ])
            @
-           match e.network with
+           match e.semantic_ok with
            | None -> []
-           | Some n -> [ ("network_method", Json.Str n.net_method) ]))
+           | Some ok -> [ ("semantic_ok", Json.Bool ok) ]))
        entries)
 
 let render_lineage b indent l =
@@ -539,6 +553,13 @@ let render_explain e =
       (Printf.sprintf
          "contraction order (%s): %s\n  tc %.3f  sc %.3f  rw %.3f  score %.3f\n\n"
          n.net_method n.net_order n.net_tc n.net_sc n.net_rw n.net_score));
+  (match e.semantic_ok with
+  | None -> ()
+  | Some ok ->
+    Buffer.add_string b
+      (Printf.sprintf "semantic gate: winner %s\n\n"
+         (if ok then "validated (equivalent over the prime field)"
+          else "FAILED translation validation")));
   Buffer.add_string b "winner lineage\n";
   render_lineage b "  " e.winner.lineage;
   Buffer.add_string b "\nparameter importances (split gain)\n";

@@ -79,6 +79,11 @@ type entry = {
           the gate existed decode as [0]/[0]/[[]] *)
   network : network option;
       (** contraction-order provenance; [None] for plain DSL tunes *)
+  semantic_ok : bool option;
+      (** translation validation of the winner: [Some true] when the
+          semantic gate proved it equivalent to its DSL contraction,
+          [Some false] when it did not, [None] when the gate was off (and
+          for entries journaled before it existed) *)
   iterations : Search_log.iteration list;
   variants : variant list;  (** every evaluated variant, evaluation order *)
   winner : variant;

@@ -41,6 +41,16 @@ let of_string src =
   let program = Parse.program src in
   List.map (fun c -> of_contraction c) (Contraction.of_program program)
 
+(* Lookup by enumeration id (the id recorded in tuning lineage). *)
+let find t id =
+  match List.find_opt (fun (v : variant) -> v.id = id) t.variants with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Variants.find: no variant %d of %s (have %d)" id
+         t.contraction.Contraction.output
+         (List.length t.variants))
+
 let min_flops t =
   match t.variants with
   | [] -> 0

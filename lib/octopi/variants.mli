@@ -19,6 +19,10 @@ val of_contraction : Contraction.t -> t
 (** Parse a DSL program; one variant set per statement. *)
 val of_string : string -> t list
 
+(** Lookup by enumeration id (the id recorded in tuning lineage); raises
+    [Invalid_argument] when absent. *)
+val find : t -> int -> variant
+
 val min_flops : t -> int
 val minimal_flop_variants : t -> variant list
 

@@ -233,11 +233,17 @@ let batch t (requests : request list) =
             cold)
   in
   (* store fresh artifacts (main domain: the cache mutex is cheap, but
-     write-through happens once per key, in batch order) *)
+     write-through happens once per key, in batch order). A winner that
+     FAILED translation validation is served (the caller sees the verdict
+     on the result) but never cached: a poisoned artifact would replay the
+     miscompiled kernel on every future hit. *)
   phase t "phase.store" (fun () ->
       List.iter
         (fun (key, ((_, result, _) : served * Autotune.Tuner.result * float)) ->
-          Tuning_cache.store t.cache ~key (Autotune.Store.of_result result))
+          match result.Autotune.Tuner.semantic with
+          | Some v when not v.Check.Semantic.equivalent ->
+            Metrics.incr t.metrics "check.semantic_failed"
+          | _ -> Tuning_cache.store t.cache ~key (Autotune.Store.of_result result))
         cold_results);
   let by_key = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.replace by_key k v) (hit_results @ cold_results);

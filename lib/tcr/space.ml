@@ -105,6 +105,28 @@ let sample rng t =
   let red_order = Util.Rng.pick_list rng (red_orders t) in
   { decomp; unrolls; red_order }
 
+(* The serial schedule of [op] under [point]: the loop indices one thread
+   executes, split into the unmapped parallel loops (outermost, each
+   computing a distinct output element) and the reduction loops (innermost,
+   permuted by the point's red_order when one is given). Both the kernel
+   lowering and the recipe-stage semantic evaluator derive their iteration
+   schedule from this one definition, so "what the recipe means" cannot
+   drift from "what the lowering does" silently. *)
+let serial_schedule (op : Ir.op) (point : point) =
+  let mapped = mapped_indices point.decomp in
+  let serial = List.filter (fun i -> not (List.mem i mapped)) op.loop_order in
+  let parallel_serial = List.filter (fun i -> List.mem i op.out_indices) serial in
+  let reductions = List.filter (fun i -> not (List.mem i op.out_indices)) serial in
+  let reductions =
+    match point.red_order with
+    | [] -> reductions
+    | order ->
+      if List.sort compare order <> List.sort compare reductions then
+        invalid_arg "Space.serial_schedule: red_order is not a permutation of the reductions";
+      order
+  in
+  (parallel_serial, reductions)
+
 let point_key point =
   let d = point.decomp in
   Printf.sprintf "tx=%s ty=%s bx=%s by=%s %s%s" d.tx

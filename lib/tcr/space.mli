@@ -47,6 +47,13 @@ val count : t -> int
 val enumerate : t -> point list
 val sample : Util.Rng.t -> t -> point
 
+(** The serial schedule of an op under a point: the unmapped parallel
+    loops (outermost) and the reduction loops (innermost, permuted by the
+    point's [red_order] when one is given - raises when that order is not
+    a permutation of the reductions). The kernel lowering and the
+    recipe-stage semantic evaluator share this single definition. *)
+val serial_schedule : Ir.op -> point -> string list * string list
+
 (** Stable textual identity of a point (used for memoization). *)
 val point_key : point -> string
 

@@ -30,6 +30,7 @@ let () =
       ("perfobs", Test_perfobs.suite);
       ("journal", Test_journal.suite);
       ("check", Test_check.suite);
+      ("semantic", Test_semantic.suite);
       ("netopt", Test_netopt.suite);
       ("telemetry", Test_telemetry.suite);
       ("drift", Test_drift.suite);
